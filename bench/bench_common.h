@@ -1,0 +1,77 @@
+// Shared harness for the paper-table benchmarks: evaluation strategies
+// (canonical / canonical-memo / canonical-no-shortcut / unnested), a
+// per-cell timeout that prints "n/a" like the paper's six-hour abort, and
+// a fixed-width table printer matching Fig. 7's layout.
+#ifndef BYPASSDB_BENCH_BENCH_COMMON_H_
+#define BYPASSDB_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace bypass {
+namespace bench {
+
+/// Simple --key=value / --flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  double GetDouble(const std::string& name, double def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// One evaluation strategy of the study (see DESIGN.md for the mapping to
+/// the paper's anonymized systems S1–S3 and Natix).
+struct Strategy {
+  std::string name;
+  QueryOptions options;
+};
+
+/// The four strategies, with the given per-cell timeout applied to all.
+std::vector<Strategy> StudyStrategies(double timeout_seconds);
+
+/// Runs one cell; returns formatted seconds, or "n/a" on timeout, or
+/// "ERR(<code>)" on failure. `rows_out`, if set, receives the result
+/// cardinality for cross-strategy sanity checks.
+std::string RunCell(Database* db, const std::string& sql,
+                    const QueryOptions& options,
+                    int64_t* rows_out = nullptr);
+
+/// Fixed-width table: first column is the row label.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> column_headers);
+  void AddRow(const std::string& label, std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+/// Prints the standard banner: experiment id, paper artifact, knobs.
+void PrintBanner(const std::string& experiment,
+                 const std::string& paper_artifact,
+                 const std::string& notes);
+
+/// Shared driver for the RST SF1×SF2 grids (Fig. 7(a)/(c) and the
+/// technical-report experiments): runs every strategy over the 3×3 grid
+/// of scale factors and prints the paper-style table.
+/// Flags: --paper (full 10000 rows/SF), --rows-per-sf=N, --timeout=SECONDS,
+/// --quick (1×1 grid only).
+void RunRstGrid(const std::string& experiment,
+                const std::string& paper_artifact, const std::string& sql,
+                const Flags& flags, int64_t default_rows_per_sf);
+
+}  // namespace bench
+}  // namespace bypass
+
+#endif  // BYPASSDB_BENCH_BENCH_COMMON_H_

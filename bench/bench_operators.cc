@@ -1,0 +1,125 @@
+// E7 — operator microbenchmarks (google-benchmark): the building blocks
+// of the bypass plans. Measures the bypass-selection overhead vs a plain
+// selection, hash vs nested-loop joins, unary vs binary grouping.
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+
+#include "engine/database.h"
+#include "workload/rst.h"
+
+namespace {
+
+using bypass::Database;
+using bypass::LoadRst;
+using bypass::QueryOptions;
+using bypass::RstOptions;
+
+/// One database shared by all benchmarks (read-only workload).
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    RstOptions opts;
+    opts.rows_per_sf = 20000;
+    BYPASS_CHECK(LoadRst(d, 1, 1, 1, opts).ok());
+    return d;
+  }();
+  return db;
+}
+
+void RunQuery(benchmark::State& state, const char* sql,
+              bool unnest = true) {
+  Database* db = SharedDb();
+  QueryOptions options;
+  options.unnest = unnest;
+  options.collect_plans = false;
+  for (auto _ : state) {
+    auto result = db->Query(sql, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+
+void BM_PlainSelection(benchmark::State& state) {
+  RunQuery(state, "SELECT * FROM r WHERE a4 > 5000");
+}
+BENCHMARK(BM_PlainSelection);
+
+// The same selectivity, but forced through a bypass split + union, to
+// price the bypass machinery itself.
+void BM_BypassSelectionViaDisjunction(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT * FROM r WHERE a4 > 5000 "
+           "OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)");
+}
+BENCHMARK(BM_BypassSelectionViaDisjunction);
+
+void BM_HashJoin(benchmark::State& state) {
+  RunQuery(state, "SELECT COUNT(*) FROM r, s WHERE a2 = b2");
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_NLJoinSmall(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT COUNT(*) FROM r, s WHERE a2 < b2 AND a3 < 3 AND b3 < 3");
+}
+BENCHMARK(BM_NLJoinSmall);
+
+void BM_HashGroupBy(benchmark::State& state) {
+  RunQuery(state, "SELECT COUNT(DISTINCT *) FROM s WHERE b2 < 500");
+}
+BENCHMARK(BM_HashGroupBy);
+
+// Unary grouping + outer join (Eqv. 1 machinery).
+void BM_UnnestedConjunctiveLinking(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT DISTINCT * FROM r "
+           "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)");
+}
+BENCHMARK(BM_UnnestedConjunctiveLinking);
+
+// Binary grouping via a non-equality correlation predicate.
+void BM_BinaryGroupingNonEq(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT DISTINCT * FROM r "
+           "WHERE a3 < 50 "
+           "  AND a1 = (SELECT COUNT(*) FROM s WHERE a2 < b2 AND b3 < 20)");
+}
+BENCHMARK(BM_BinaryGroupingNonEq);
+
+void BM_DistinctHeavy(benchmark::State& state) {
+  RunQuery(state, "SELECT DISTINCT a2, a4 FROM r");
+}
+BENCHMARK(BM_DistinctHeavy);
+
+void BM_SortHeavy(benchmark::State& state) {
+  RunQuery(state, "SELECT a1, a4 FROM r ORDER BY a4 DESC, a1");
+}
+BENCHMARK(BM_SortHeavy);
+
+// Full optimizer path cost (parse + translate + rewrite + lower), no data.
+void BM_OptimizeOnly(benchmark::State& state) {
+  Database* db = SharedDb();
+  QueryOptions options;
+  options.collect_plans = false;
+  for (auto _ : state) {
+    auto explain = db->Explain(
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) "
+        "   OR a4 > 1500",
+        options);
+    if (!explain.ok()) {
+      state.SkipWithError(explain.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(explain->size());
+  }
+}
+BENCHMARK(BM_OptimizeOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

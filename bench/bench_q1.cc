@@ -1,0 +1,21 @@
+// E1 — Fig. 7(a): Query Q1 (disjunctive linking) on the RST data set,
+// SF1×SF2 grid, four evaluation strategies.
+#include "bench_common.h"
+
+namespace {
+
+constexpr const char* kQ1 = R"sql(
+SELECT DISTINCT * FROM r
+WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+   OR a4 > 1500
+)sql";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bypass::bench::Flags flags(argc, argv);
+  bypass::bench::RunRstGrid("E1 bench_q1",
+                            "Fig. 7(a): Q1, disjunctive linking (Eqv. 2)",
+                            kQ1, flags, /*default_rows_per_sf=*/1000);
+  return 0;
+}

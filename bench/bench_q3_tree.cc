@@ -1,0 +1,23 @@
+// E4 — technical-report experiment: tree query Q3 (two subqueries under
+// one disjunction; Sec. 3.5). Unnested by a cascade of bypass selections
+// (Eqv. 2/3 repeatedly, Eqv. 1 for the last branch).
+#include "bench_common.h"
+
+namespace {
+
+constexpr const char* kQ3 = R"sql(
+SELECT DISTINCT * FROM r
+WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2)
+   OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a4 = c2)
+)sql";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bypass::bench::Flags flags(argc, argv);
+  bypass::bench::RunRstGrid(
+      "E4 bench_q3_tree",
+      "TR tree-query experiment: Q3 (Sec. 3.5, Fig. 5)", kQ3, flags,
+      /*default_rows_per_sf=*/400);
+  return 0;
+}

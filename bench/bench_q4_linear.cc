@@ -1,0 +1,28 @@
+// E5 — technical-report experiment: linear query Q4 (a subquery inside a
+// subquery, both disjunctive; Sec. 3.6). Canonical evaluation is cubic —
+// the paper notes the gains "exponentiate". Unnested via Eqv. 5 (top) +
+// Eqv. 1 (inside the pair stream), exactly Fig. 6(c).
+//
+// Caution: the Eqv. 5 plan enumerates the R×S pairs, so the unnested plan
+// is quadratic in memory; the default sizes stay modest.
+#include "bench_common.h"
+
+namespace {
+
+constexpr const char* kQ4 = R"sql(
+SELECT DISTINCT * FROM r
+WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s
+            WHERE a2 = b2
+               OR b3 = (SELECT COUNT(DISTINCT *) FROM t WHERE b4 = c2))
+)sql";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bypass::bench::Flags flags(argc, argv);
+  bypass::bench::RunRstGrid(
+      "E5 bench_q4_linear",
+      "TR linear-query experiment: Q4 (Sec. 3.6, Fig. 6)", kQ4, flags,
+      /*default_rows_per_sf=*/120);
+  return 0;
+}

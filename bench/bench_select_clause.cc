@@ -1,0 +1,75 @@
+// E9 — SELECT-clause nesting (paper Sec. 1: "the generalization to
+// nesting in the select clause is straightforward"): a correlated scalar
+// block as a projection item, canonical per-row re-execution vs the
+// unnested Eqv. 1/4 machinery.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/rst.h"
+
+namespace {
+
+constexpr const char* kQueries[][2] = {
+    {"conjunctive-corr",
+     "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS g FROM r"},
+    {"disjunctive-corr",
+     "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 1500) "
+     "AS g FROM r"},
+    {"two-blocks",
+     "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS g1, "
+     "(SELECT MAX(c3) FROM t WHERE a3 = c2) AS g2 FROM r"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bypass;        // NOLINT(build/namespaces)
+  using namespace bypass::bench;  // NOLINT(build/namespaces)
+  Flags flags(argc, argv);
+  const int64_t rows_per_sf =
+      flags.Has("paper") ? 10000 : flags.GetInt("rows-per-sf", 1000);
+  const double timeout = flags.GetDouble("timeout", 5.0);
+  const std::vector<int> sfs =
+      flags.Has("quick") ? std::vector<int>{1} : std::vector<int>{1, 5, 10};
+
+  PrintBanner("E9 bench_select_clause",
+              "Sec. 1 extension: scalar blocks in the SELECT clause",
+              "rows/SF=" + std::to_string(rows_per_sf) +
+                  "  per-cell timeout=" + std::to_string(timeout) + "s");
+
+  for (const auto& [name, sql] : kQueries) {
+    std::printf("\n-- %s --\n%s\n", name, sql);
+    std::vector<std::string> headers;
+    for (int sf : sfs) headers.push_back("SF" + std::to_string(sf));
+    ResultTable table(headers);
+    const std::vector<Strategy> strategies = StudyStrategies(timeout);
+    std::vector<std::vector<std::string>> cells(
+        strategies.size(), std::vector<std::string>(sfs.size()));
+    for (size_t c = 0; c < sfs.size(); ++c) {
+      Database db;
+      RstOptions opts;
+      opts.rows_per_sf = rows_per_sf;
+      Status st = LoadRst(&db, sfs[c], sfs[c], sfs[c], opts);
+      if (!st.ok()) {
+        std::printf("data load failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      int64_t reference_rows = -1;
+      for (size_t s = 0; s < strategies.size(); ++s) {
+        int64_t rows = -1;
+        cells[s][c] = RunCell(&db, sql, strategies[s].options, &rows);
+        if (rows >= 0) {
+          if (reference_rows < 0) reference_rows = rows;
+          if (rows != reference_rows) cells[s][c] += "!";
+        }
+      }
+    }
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      table.AddRow(strategies[s].name, cells[s]);
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// An interactive SQL shell over bypassdb — the fastest way to poke at the
+// unnesting engine with your own queries and data.
+//
+//   $ ./example_bypass_shell
+//   bypassdb> SELECT DISTINCT * FROM r WHERE a1 = (SELECT COUNT(*) ...
+//   bypassdb> \explain SELECT ...
+//   bypassdb> \dot SELECT ...          (Graphviz of the rewritten plan)
+//   bypassdb> \canonical on|off        (toggle unnesting)
+//   bypassdb> \load mytable file.csv   (append CSV into a table)
+//   bypassdb> \tables
+//   bypassdb> \q
+//
+// Starts with the RST sample tables (2000 rows each) and TPC-H SF 0.01.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "algebra/dot.h"
+#include "engine/database.h"
+#include "frontend/translator.h"
+#include "rewrite/unnest.h"
+#include "sql/parser.h"
+#include "workload/csv.h"
+#include "workload/rst.h"
+#include "workload/tpch.h"
+
+using namespace bypass;  // NOLINT(build/namespaces)
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  std::printf("-- %s\n", result.schema.ToString().c_str());
+  const size_t shown = std::min<size_t>(result.rows.size(), 50);
+  for (size_t i = 0; i < shown; ++i) {
+    std::printf("%s\n", RowToString(result.rows[i]).c_str());
+  }
+  if (shown < result.rows.size()) {
+    std::printf("... (%zu more rows)\n", result.rows.size() - shown);
+  }
+  std::printf("-- %zu rows in %.2f ms", result.rows.size(),
+              result.execution_seconds * 1000);
+  if (!result.applied_rules.empty()) {
+    std::printf("; equivalences:");
+    for (const std::string& rule : result.applied_rules) {
+      std::printf(" %s", rule.c_str());
+    }
+  }
+  if (result.stats.subquery_executions > 0) {
+    std::printf("; nested-loop block runs: %lld",
+                static_cast<long long>(result.stats.subquery_executions));
+  }
+  std::printf("\n");
+}
+
+Result<std::string> RenderDot(Database* db, const std::string& sql) {
+  BYPASS_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+  Translator translator(db->catalog());
+  BYPASS_ASSIGN_OR_RETURN(LogicalOpPtr plan, translator.Translate(*stmt));
+  UnnestingRewriter rewriter(RewriteOptions{});
+  BYPASS_ASSIGN_OR_RETURN(plan, rewriter.Rewrite(plan));
+  return PlanToDot(*plan, "query");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  RstOptions rst;
+  rst.rows_per_sf = 2000;
+  if (Status st = LoadRst(&db, 1, 1, 1, rst); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  TpchOptions tpch;
+  tpch.scale_factor = 0.01;
+  if (Status st = LoadTpch(&db, tpch); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  std::printf(
+      "bypassdb shell — RST (2000 rows each) and TPC-H SF 0.01 loaded.\n"
+      "Commands: \\explain <sql>, \\dot <sql>, \\canonical on|off,\n"
+      "          \\load <table> <file.csv>, \\tables, \\q\n");
+
+  std::string line;
+  std::string buffer;
+  while (true) {
+    std::printf(buffer.empty() ? "bypassdb> " : "      ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream cmd(line.substr(1));
+      std::string name;
+      cmd >> name;
+      if (name == "q" || name == "quit") break;
+      if (name == "tables") {
+        for (const std::string& t : db.catalog()->TableNames()) {
+          auto table = db.catalog()->GetTable(t);
+          std::printf("  %-12s %8lld rows  (%s)\n", t.c_str(),
+                      static_cast<long long>((*table)->num_rows()),
+                      (*table)->schema().ToString().c_str());
+        }
+        continue;
+      }
+      if (name == "canonical") {
+        std::string flag;
+        cmd >> flag;
+        options.unnest = (flag != "on");
+        std::printf("unnesting %s\n", options.unnest ? "ON" : "OFF");
+        continue;
+      }
+      if (name == "load") {
+        std::string table_name, path;
+        cmd >> table_name >> path;
+        auto table = db.catalog()->GetTable(table_name);
+        if (!table.ok()) {
+          std::printf("%s\n", table.status().ToString().c_str());
+          continue;
+        }
+        Status st = LoadCsvFile(path, *table);
+        std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+        continue;
+      }
+      if (name == "explain") {
+        std::string rest;
+        std::getline(cmd, rest);
+        auto explain = db.Explain(rest, options);
+        std::printf("%s\n", explain.ok()
+                                ? explain->c_str()
+                                : explain.status().ToString().c_str());
+        continue;
+      }
+      if (name == "dot") {
+        std::string rest;
+        std::getline(cmd, rest);
+        auto dot = RenderDot(&db, rest);
+        std::printf("%s\n", dot.ok() ? dot->c_str()
+                                     : dot.status().ToString().c_str());
+        continue;
+      }
+      std::printf("unknown command: \\%s\n", name.c_str());
+      continue;
+    }
+
+    buffer += line;
+    buffer.push_back('\n');
+    // Execute once the statement is terminated (';' or a blank line).
+    const bool terminated =
+        line.find(';') != std::string::npos || line.empty();
+    if (!terminated) continue;
+    std::string sql;
+    std::swap(sql, buffer);
+    if (sql.find_first_not_of(" \t\n;") == std::string::npos) continue;
+    auto result = db.Query(sql, options);
+    if (result.ok()) {
+      PrintResult(*result);
+    } else {
+      std::printf("%s\n", result.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Graphviz export of logical plan DAGs. The paper stresses that bypass
+// plans are DAGs (Sec. 5, citing Neumann's DAG-plan work); dot output
+// makes the shared bypass nodes and their +/− streams visible.
+#ifndef BYPASSDB_ALGEBRA_DOT_H_
+#define BYPASSDB_ALGEBRA_DOT_H_
+
+#include <string>
+
+#include "algebra/logical_op.h"
+
+namespace bypass {
+
+/// Renders the plan as a Graphviz digraph. Edges point from producers to
+/// consumers; bypass streams are labelled "+" (solid) and "−" (dashed),
+/// matching the paper's figures.
+std::string PlanToDot(const LogicalOp& root,
+                      const std::string& graph_name = "plan");
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_ALGEBRA_DOT_H_

@@ -1,0 +1,47 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace bypass {
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(key, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace bypass

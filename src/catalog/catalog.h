@@ -1,0 +1,43 @@
+// Catalog: the namespace of base tables.
+#ifndef BYPASSDB_CATALOG_CATALOG_H_
+#define BYPASSDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace bypass {
+
+/// Owns all base tables of a database instance. Table names are
+/// case-insensitive (stored lower-cased).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on duplicates.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Removes a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// All table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_CATALOG_CATALOG_H_

@@ -1,0 +1,91 @@
+#include "catalog/table.h"
+
+#include <unordered_set>
+
+namespace bypass {
+
+Status Table::Append(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match table '" + name_ + "' with " +
+        std::to_string(schema_.num_columns()) + " columns");
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    const Value& v = row[static_cast<size_t>(i)];
+    if (v.is_null()) continue;
+    const DataType expected = schema_.column(i).type;
+    const bool ok =
+        (v.type() == expected) ||
+        (v.is_int64() && expected == DataType::kDouble) ||
+        (v.is_double() && expected == DataType::kInt64);
+    if (!ok) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name +
+          "' of table '" + name_ + "': expected " +
+          DataTypeToString(expected) + ", got " + v.ToString());
+    }
+  }
+  rows_.push_back(std::move(row));
+  stats_valid_ = false;
+  return Status::OK();
+}
+
+Status Table::AppendUnchecked(std::vector<Row> rows) {
+  for (const Row& r : rows) {
+    if (static_cast<int>(r.size()) != schema_.num_columns()) {
+      return Status::InvalidArgument("row arity mismatch in bulk append to '" +
+                                     name_ + "'");
+    }
+  }
+  if (rows_.empty()) {
+    rows_ = std::move(rows);
+  } else {
+    rows_.reserve(rows_.size() + rows.size());
+    for (Row& r : rows) rows_.push_back(std::move(r));
+  }
+  stats_valid_ = false;
+  return Status::OK();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  stats_.clear();
+  stats_valid_ = false;
+}
+
+void Table::AnalyzeStats() const {
+  stats_.assign(static_cast<size_t>(schema_.num_columns()), ColumnStats{});
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    ColumnStats& st = stats_[static_cast<size_t>(c)];
+    std::unordered_set<size_t> seen_hashes;
+    // NDV via hash-set of value hashes: exact enough for costing at our
+    // scales and avoids storing full values.
+    bool have_minmax = false;
+    for (const Row& row : rows_) {
+      const Value& v = row[static_cast<size_t>(c)];
+      if (v.is_null()) {
+        ++st.null_count;
+        continue;
+      }
+      seen_hashes.insert(v.Hash());
+      if (!have_minmax) {
+        st.min = v;
+        st.max = v;
+        have_minmax = true;
+      } else {
+        if (v.OrderCompare(st.min) < 0) st.min = v;
+        if (v.OrderCompare(st.max) > 0) st.max = v;
+      }
+    }
+    st.distinct_count = static_cast<int64_t>(seen_hashes.size());
+  }
+  stats_valid_ = true;
+}
+
+const std::vector<ColumnStats>& Table::stats() const {
+  if (!stats_valid_) AnalyzeStats();
+  return stats_;
+}
+
+}  // namespace bypass

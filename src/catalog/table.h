@@ -1,0 +1,62 @@
+// In-memory base table with per-column statistics for cost estimation.
+#ifndef BYPASSDB_CATALOG_TABLE_H_
+#define BYPASSDB_CATALOG_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace bypass {
+
+/// Simple per-column statistics: row count is table-level; NDV, min and max
+/// drive selectivity estimation (recomputed on demand after loads).
+struct ColumnStats {
+  int64_t distinct_count = 0;
+  Value min;  ///< NULL when the column is all-NULL or table empty
+  Value max;
+  int64_t null_count = 0;
+};
+
+/// A heap of rows with a schema. Not thread-safe; the engine is
+/// single-threaded by design (the paper's experiments are single-stream).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Appends one row after checking arity and types (NULL always allowed).
+  Status Append(Row row);
+
+  /// Bulk-append without per-row type checks (generators produce typed
+  /// data); still validates arity.
+  Status AppendUnchecked(std::vector<Row> rows);
+
+  /// Drops all rows and statistics.
+  void Clear();
+
+  /// Recomputes column statistics; invoked lazily by stats().
+  void AnalyzeStats() const;
+
+  /// Per-column statistics (computed on first use after modification).
+  const std::vector<ColumnStats>& stats() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  mutable std::vector<ColumnStats> stats_;
+  mutable bool stats_valid_ = false;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_CATALOG_TABLE_H_

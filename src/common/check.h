@@ -1,0 +1,35 @@
+// Invariant-checking macros. BYPASS_CHECK aborts on violation; it guards
+// programmer errors, never user input (user input errors flow through
+// Status).
+#ifndef BYPASSDB_COMMON_CHECK_H_
+#define BYPASSDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BYPASS_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define BYPASS_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define BYPASS_UNREACHABLE(msg)                                           \
+  do {                                                                    \
+    std::fprintf(stderr, "UNREACHABLE at %s:%d: %s\n", __FILE__,          \
+                 __LINE__, msg);                                          \
+    std::abort();                                                         \
+  } while (0)
+
+#endif  // BYPASSDB_COMMON_CHECK_H_

@@ -1,0 +1,85 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bypass {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  BYPASS_CHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + UniformDouble() * (hi - lo);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::string Rng::AlphaString(int length) {
+  std::string s;
+  s.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>('a' + UniformInt(0, 25)));
+  }
+  return s;
+}
+
+int Rng::WeightedIndex(const double* weights, int weights_size) {
+  BYPASS_CHECK(weights_size > 0);
+  double total = 0;
+  for (int i = 0; i < weights_size; ++i) total += weights[i];
+  double pick = UniformDouble() * total;
+  for (int i = 0; i < weights_size; ++i) {
+    pick -= weights[i];
+    if (pick <= 0) return i;
+  }
+  return weights_size - 1;
+}
+
+}  // namespace bypass

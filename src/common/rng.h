@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. A thin wrapper over a splitmix64/xoshiro-style generator
+// so that generated datasets are reproducible across platforms and standard
+// library versions (std::mt19937 distributions are not portable).
+#ifndef BYPASSDB_COMMON_RNG_H_
+#define BYPASSDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bypass {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Random lowercase ASCII string of exactly `length` characters.
+  std::string AlphaString(int length);
+
+  /// Picks an index in [0, weights_size) proportionally to weights[i].
+  int WeightedIndex(const double* weights, int weights_size);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace bypass {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace bypass

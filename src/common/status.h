@@ -1,0 +1,122 @@
+// Status: lightweight error propagation without exceptions, in the spirit of
+// absl::Status / arrow::Status.
+#ifndef BYPASSDB_COMMON_STATUS_H_
+#define BYPASSDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bypass {
+
+/// Error categories used across the engine.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< catalog object / column missing
+  kAlreadyExists,     ///< duplicate catalog object
+  kParseError,        ///< SQL lexer/parser failure
+  kBindError,         ///< name resolution / semantic analysis failure
+  kUnsupported,       ///< valid SQL outside the implemented subset
+  kExecutionError,    ///< runtime failure (type error, division by zero, ...)
+  kTimeout,           ///< query exceeded its time budget
+  kInternal,          ///< invariant violation; indicates a bug
+};
+
+/// Human-readable name of a status code (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to pass around: the OK state carries no
+/// allocation; error states hold a code and message on the heap.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace bypass
+
+/// Propagates a non-OK Status to the caller.
+#define BYPASS_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::bypass::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define BYPASS_CONCAT_IMPL(a, b) a##b
+#define BYPASS_CONCAT(a, b) BYPASS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define BYPASS_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  BYPASS_ASSIGN_OR_RETURN_IMPL(BYPASS_CONCAT(_result_, __LINE__), lhs, \
+                               rexpr)
+
+#define BYPASS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // BYPASSDB_COMMON_STATUS_H_

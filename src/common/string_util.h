@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+#ifndef BYPASSDB_COMMON_STRING_UTIL_H_
+#define BYPASSDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bypass {
+
+/// ASCII lower-casing (SQL identifiers and keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// SQL LIKE pattern match: '%' matches any sequence, '_' any single
+/// character. No escape character support (the paper's queries do not
+/// need one).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,172 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "algebra/plan_util.h"
+#include "expr/expr_util.h"
+#include "frontend/translator.h"
+#include "planner/cost_model.h"
+#include "planner/planner.h"
+#include "rewrite/classify.h"
+#include "sql/parser.h"
+
+namespace bypass {
+
+namespace {
+
+/// Reorders every disjunction in the plan's selection predicates.
+/// `subquery_first=false` puts cheap subquery-free disjuncts first so the
+/// runtime's OR short-circuit skips nested blocks whenever possible (any
+/// reasonable engine does this); `subquery_first=true` simulates an
+/// optimizer without that shortcut. Mutates the given (private) plan.
+void ReorderDisjunctions(const LogicalOpPtr& root, bool subquery_first) {
+  VisitPlan(root, [subquery_first](const LogicalOpPtr& node) {
+    for (const ExprPtr& e : NodeExpressions(*node)) {
+      VisitExprMutable(e.get(), [subquery_first](Expr* expr) {
+        if (expr->kind() != ExprKind::kOr) return;
+        auto* disjunction = static_cast<OrExpr*>(expr);
+        std::vector<ExprPtr> terms = disjunction->terms();
+        std::stable_partition(terms.begin(), terms.end(),
+                              [subquery_first](const ExprPtr& t) {
+                                return ContainsSubquery(t) ==
+                                       subquery_first;
+                              });
+        *disjunction = OrExpr(std::move(terms));
+      });
+    }
+  });
+}
+
+struct PreparedQuery {
+  LogicalOpPtr canonical;
+  LogicalOpPtr optimized;
+  std::vector<std::string> applied_rules;
+};
+
+Result<PreparedQuery> Prepare(const Catalog* catalog,
+                              const std::string& sql,
+                              const QueryOptions& options) {
+  BYPASS_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+  Translator translator(catalog);
+  PreparedQuery out;
+  BYPASS_ASSIGN_OR_RETURN(out.canonical, translator.Translate(*stmt));
+
+  LogicalOpPtr working = CloneLogicalPlan(out.canonical);
+  ReorderDisjunctions(working,
+                      /*subquery_first=*/!options.shortcut_disjunctions);
+  if (options.unnest) {
+    RewriteOptions ropts = options.rewrite;
+    ropts.enable_unnesting = true;
+    UnnestingRewriter rewriter(ropts);
+    LogicalOpPtr before = working;
+    BYPASS_ASSIGN_OR_RETURN(working, rewriter.Rewrite(working));
+    out.applied_rules = rewriter.applied_rules();
+    if (options.cost_based && working != before) {
+      const PlanEstimate canonical_cost = EstimatePlan(*before, catalog);
+      const PlanEstimate unnested_cost = EstimatePlan(*working, catalog);
+      if (canonical_cost.cost < unnested_cost.cost) {
+        working = before;
+        out.applied_rules = {"cost-based: kept canonical"};
+      }
+    }
+  }
+  out.optimized = working;
+  return out;
+}
+
+}  // namespace
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     Schema schema) {
+  return catalog_.CreateTable(name, std::move(schema));
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  const auto optimize_start = std::chrono::steady_clock::now();
+  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                          Prepare(&catalog_, sql, options));
+
+  PlannerOptions popts;
+  popts.memoize_subqueries = options.memoize_subqueries;
+  Planner planner(&catalog_, popts);
+  BYPASS_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                          planner.Lower(prepared.optimized));
+  const auto optimize_end = std::chrono::steady_clock::now();
+
+  QueryResult result;
+  result.schema = plan.output_schema;
+  result.applied_rules = std::move(prepared.applied_rules);
+  result.optimize_seconds =
+      std::chrono::duration<double>(optimize_end - optimize_start)
+          .count();
+  if (options.collect_plans) {
+    result.canonical_plan = PlanToString(*prepared.canonical);
+    result.optimized_plan = PlanToString(*prepared.optimized);
+    result.physical_plan = plan.ToString();
+  }
+
+  ExecContext ctx;
+  ctx.set_stats(&result.stats);
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (options.timeout.has_value()) {
+    deadline = std::chrono::steady_clock::now() + *options.timeout;
+    ctx.set_deadline(*deadline);
+  }
+  for (ExecSubplan* subplan : plan.subplans) {
+    subplan->Configure(deadline, &result.stats);
+  }
+
+  const auto exec_start = std::chrono::steady_clock::now();
+  BYPASS_RETURN_IF_ERROR(RunPlan(&plan, &ctx));
+  const auto exec_end = std::chrono::steady_clock::now();
+  result.execution_seconds =
+      std::chrono::duration<double>(exec_end - exec_start).count();
+  if (options.collect_plans) {
+    result.operator_stats = plan.StatsString();
+  }
+  result.rows = plan.sink->TakeRows();
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                          Prepare(&catalog_, sql, options));
+  PlannerOptions popts;
+  popts.memoize_subqueries = options.memoize_subqueries;
+  Planner planner(&catalog_, popts);
+  BYPASS_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                          planner.Lower(prepared.optimized));
+
+  std::ostringstream os;
+  os << "nesting structure: "
+     << NestingStructureToString(ClassifyNesting(*prepared.canonical))
+     << "\n";
+  const PlanEstimate canonical_est =
+      EstimatePlan(*prepared.canonical, &catalog_);
+  os << "canonical logical plan (est. " << canonical_est.rows
+     << " rows, cost " << canonical_est.cost << "):\n"
+     << PlanToString(*prepared.canonical);
+  if (options.unnest) {
+    os << "applied equivalences:";
+    if (prepared.applied_rules.empty()) {
+      os << " (none)";
+    } else {
+      for (const std::string& rule : prepared.applied_rules) {
+        os << " " << rule;
+      }
+    }
+    os << "\n";
+    const PlanEstimate optimized_est =
+        EstimatePlan(*prepared.optimized, &catalog_);
+    os << "rewritten logical plan (est. " << optimized_est.rows
+       << " rows, cost " << optimized_est.cost << "):\n"
+       << PlanToString(*prepared.optimized);
+  }
+  os << plan.ToString();
+  return os.str();
+}
+
+}  // namespace bypass

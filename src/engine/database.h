@@ -1,0 +1,90 @@
+// Database: the library's top-level facade. Owns the catalog and drives
+// parse → translate → (unnest) → lower → execute, with per-query knobs
+// that reproduce every evaluation strategy in the paper's study:
+//
+//   canonical               unnest=false (nested-loop subqueries)
+//   canonical, no shortcut  + shortcut_disjunctions=false (S1/S3-like)
+//   canonical-memo          + memoize_subqueries=true (S2-like)
+//   unnested                unnest=true (the paper's bypass plans)
+#ifndef BYPASSDB_ENGINE_DATABASE_H_
+#define BYPASSDB_ENGINE_DATABASE_H_
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "rewrite/unnest.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace bypass {
+
+struct QueryOptions {
+  /// Apply the paper's unnesting equivalences.
+  bool unnest = true;
+  /// With `unnest`, keep the canonical plan anyway when the cost model
+  /// estimates it cheaper (paper Sec. 1: "some unnesting strategies do
+  /// not always result in better plans" — e.g. Eqv. 5's quadratic pair
+  /// stream on queries whose canonical evaluation is also quadratic).
+  bool cost_based = false;
+  /// Memoize correlated subquery results by correlation values.
+  bool memoize_subqueries = false;
+  /// When false, disjunctions are reordered so nested blocks are
+  /// evaluated first — simulating an optimizer that does not short-cut
+  /// ORs (the worst commercial behaviour observed in the paper).
+  bool shortcut_disjunctions = true;
+  /// Abort the execution after this long (paper: six hours → "n/a").
+  std::optional<std::chrono::milliseconds> timeout;
+  /// Fine-grained rewriter knobs (enable_unnesting is overridden by
+  /// `unnest` above).
+  RewriteOptions rewrite;
+  /// Record plan strings in the result (small cost; on by default).
+  bool collect_plans = true;
+};
+
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  ExecStats stats;
+  /// Wall-clock execution time (excludes parse/optimize).
+  double execution_seconds = 0;
+  double optimize_seconds = 0;
+  std::string canonical_plan;   ///< logical plan before unnesting
+  std::string optimized_plan;   ///< logical plan after unnesting
+  std::string physical_plan;
+  std::string operator_stats;   ///< per-operator emitted-row accounting
+  std::vector<std::string> applied_rules;  ///< e.g. {"Eqv.2", "Eqv.1"}
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+
+  /// DDL convenience: creates a table with the given columns.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Runs one SELECT statement.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = QueryOptions());
+
+  /// Multi-line EXPLAIN-style report: classification, canonical and
+  /// rewritten logical plans, applied equivalences, physical plan.
+  Result<std::string> Explain(const std::string& sql,
+                              const QueryOptions& options = QueryOptions());
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_ENGINE_DATABASE_H_

@@ -1,0 +1,10 @@
+#include "exec/distinct.h"
+
+namespace bypass {
+
+Status DistinctPhysOp::Consume(int, Row row) {
+  if (!seen_.insert(row).second) return Status::OK();
+  return Emit(kPortOut, std::move(row));
+}
+
+}  // namespace bypass

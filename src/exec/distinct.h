@@ -1,0 +1,26 @@
+// Duplicate elimination over full rows (streaming: first occurrence wins).
+#ifndef BYPASSDB_EXEC_DISTINCT_H_
+#define BYPASSDB_EXEC_DISTINCT_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "exec/phys_op.h"
+
+namespace bypass {
+
+class DistinctPhysOp : public UnaryPhysOp {
+ public:
+  DistinctPhysOp() = default;
+
+  void Reset() override { seen_.clear(); }
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override { return "Distinct"; }
+
+ private:
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_DISTINCT_H_

@@ -1,0 +1,78 @@
+// Per-execution runtime state shared by all operators of one (sub)plan
+// execution: the correlation row, the time budget, cancellation, and
+// counters reported by EXPLAIN ANALYZE-style output and the benchmarks.
+#ifndef BYPASSDB_EXEC_EXEC_CONTEXT_H_
+#define BYPASSDB_EXEC_EXEC_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+#include "types/row.h"
+
+namespace bypass {
+
+/// Query-level statistics, shared between a query's main plan and all of
+/// its subplan executions.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_emitted = 0;
+  int64_t subquery_executions = 0;
+  int64_t subquery_cache_hits = 0;
+};
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  /// The enclosing block's current tuple during subplan execution;
+  /// nullptr for top-level plans.
+  const Row* outer_row() const { return outer_row_; }
+  void set_outer_row(const Row* row) { outer_row_ = row; }
+
+  /// Arms a wall-clock budget; Status::Timeout is raised from scans and
+  /// other long-running loops once exceeded.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+
+  /// Early-termination flag (EXISTS probing); producers poll it.
+  bool cancelled() const { return cancelled_; }
+  void set_cancelled(bool v) { cancelled_ = v; }
+
+  /// When set, the collector sink cancels the execution after the first
+  /// result row (EXISTS only needs one witness).
+  bool limit_one() const { return limit_one_; }
+  void set_limit_one(bool v) { limit_one_ = v; }
+
+  ExecStats* stats() { return stats_; }
+  void set_stats(ExecStats* stats) { stats_ = stats; }
+
+  /// Cheap periodic budget check; call every few thousand rows.
+  Status CheckBudget() const {
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() > deadline_) {
+      return Status::Timeout("query exceeded its time budget");
+    }
+    return Status::OK();
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const {
+    return deadline_;
+  }
+
+ private:
+  const Row* outer_row_ = nullptr;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool cancelled_ = false;
+  bool limit_one_ = false;
+  ExecStats* stats_ = nullptr;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,47 @@
+#include "exec/executor.h"
+
+#include <sstream>
+
+namespace bypass {
+
+Status RunPlan(PhysicalPlan* plan, ExecContext* ctx) {
+  for (const PhysOpPtr& op : plan->ops) {
+    op->Reset();
+  }
+  for (const PhysOpPtr& op : plan->ops) {
+    BYPASS_RETURN_IF_ERROR(op->Prepare(ctx));
+  }
+  for (TableScanOp* source : plan->sources) {
+    BYPASS_RETURN_IF_ERROR(source->Run());
+  }
+  return Status::OK();
+}
+
+std::string PhysicalPlan::StatsString() const {
+  std::ostringstream os;
+  os << "operator rows (last execution):\n";
+  for (const PhysOpPtr& op : ops) {
+    os << "  " << op->Label() << ": " << op->rows_emitted(0);
+    if (op->num_out_ports() > 1) {
+      os << " [+], " << op->rows_emitted(1) << " [-]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream os;
+  os << "physical plan (" << ops.size() << " operators):\n";
+  for (const PhysOpPtr& op : ops) {
+    os << "  " << op->Label() << "\n";
+  }
+  os << "source order:";
+  for (const TableScanOp* s : sources) {
+    os << " " << s->Label();
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace bypass

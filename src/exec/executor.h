@@ -1,0 +1,51 @@
+// PhysicalPlan: the executable operator DAG, plus the driver that runs its
+// source pipelines in dependency-friendly order.
+#ifndef BYPASSDB_EXEC_EXECUTOR_H_
+#define BYPASSDB_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/phys_op.h"
+#include "exec/scan.h"
+#include "exec/sink.h"
+#include "types/schema.h"
+
+namespace bypass {
+
+class ExecSubplan;  // exec/subplan_impl.h
+
+/// An executable plan: owns every operator; `sources` are pre-ordered so
+/// that build sides run before probe sides where the DAG allows it (the
+/// operators buffer defensively when it does not).
+struct PhysicalPlan {
+  std::vector<PhysOpPtr> ops;
+  std::vector<TableScanOp*> sources;
+  CollectorSink* sink = nullptr;
+  Schema output_schema;
+  /// Every correlated/nested subplan reachable from this plan, so the
+  /// engine can propagate deadlines and stats before execution.
+  std::vector<ExecSubplan*> subplans;
+
+  PhysicalPlan() = default;
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+  PhysicalPlan(const PhysicalPlan&) = delete;
+  PhysicalPlan& operator=(const PhysicalPlan&) = delete;
+
+  /// Multi-line physical plan description (operator labels, source order).
+  std::string ToString() const;
+
+  /// Post-execution operator accounting: one line per operator with the
+  /// rows it emitted per output stream.
+  std::string StatsString() const;
+};
+
+/// Resets every operator, prepares them against `ctx`, and drives all
+/// source pipelines. After a successful run the sink holds the result.
+Status RunPlan(PhysicalPlan* plan, ExecContext* ctx);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_EXECUTOR_H_

@@ -1,0 +1,25 @@
+#include "exec/filter.h"
+
+namespace bypass {
+
+Status FilterOp::Consume(int, Row row) {
+  EvalContext ectx{&row, ctx_->outer_row()};
+  BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+  if (ValueToTriBool(v) == TriBool::kTrue) {
+    return Emit(kPortOut, std::move(row));
+  }
+  return Status::OK();
+}
+
+Status BypassFilterOp::Consume(int, Row row) {
+  EvalContext ectx{&row, ctx_->outer_row()};
+  BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+  // Positive stream: predicate true. Negative stream: false or unknown
+  // (two-valued on NULL-free data, SQL-correct beyond).
+  if (ValueToTriBool(v) == TriBool::kTrue) {
+    return Emit(kPortOut, std::move(row));
+  }
+  return Emit(kPortNegative, std::move(row));
+}
+
+}  // namespace bypass

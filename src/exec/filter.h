@@ -1,0 +1,46 @@
+// Selection σ_p and bypass selection σ±_p. The bypass variant routes
+// tuples failing (or unknown on) the predicate to the negative port
+// instead of dropping them — the short-circuit machinery of the paper's
+// disjunctive unnesting.
+#ifndef BYPASSDB_EXEC_FILTER_H_
+#define BYPASSDB_EXEC_FILTER_H_
+
+#include <string>
+
+#include "exec/phys_op.h"
+#include "expr/expr.h"
+
+namespace bypass {
+
+class FilterOp : public UnaryPhysOp {
+ public:
+  explicit FilterOp(ExprPtr predicate)
+      : predicate_(std::move(predicate)) {}
+
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override {
+    return "Filter " + predicate_->ToString();
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class BypassFilterOp : public UnaryPhysOp {
+ public:
+  explicit BypassFilterOp(ExprPtr predicate)
+      : UnaryPhysOp(/*num_out_ports=*/2),
+        predicate_(std::move(predicate)) {}
+
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override {
+    return "BypassFilter± " + predicate_->ToString();
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_FILTER_H_

@@ -1,0 +1,145 @@
+#include "exec/group_by.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+// ------------------------------------------------------------ HashGroupBy
+
+HashGroupByOp::HashGroupByOp(std::vector<int> key_slots,
+                             std::vector<AggregateSpec> aggregates,
+                             bool scalar)
+    : key_slots_(std::move(key_slots)),
+      aggregates_(std::move(aggregates)),
+      scalar_(scalar) {
+  BYPASS_CHECK_MSG(!scalar_ || key_slots_.empty(),
+                   "scalar aggregation cannot have group keys");
+  if (scalar_) {
+    scalar_group_ = std::make_unique<AggregatorSet>(&aggregates_);
+  }
+}
+
+void HashGroupByOp::Reset() {
+  groups_.clear();
+  if (scalar_group_) scalar_group_->Reset();
+}
+
+Status HashGroupByOp::Consume(int, Row row) {
+  EvalContext ectx{&row, ctx_->outer_row()};
+  if (scalar_) {
+    return scalar_group_->Accumulate(ectx);
+  }
+  Row key = ProjectRow(row, key_slots_);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    it = groups_
+             .emplace(std::move(key),
+                      std::make_unique<AggregatorSet>(&aggregates_))
+             .first;
+  }
+  return it->second->Accumulate(ectx);
+}
+
+Status HashGroupByOp::FinishPort(int) {
+  if (scalar_) {
+    Row out;
+    BYPASS_RETURN_IF_ERROR(scalar_group_->FinalizeInto(&out));
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(out)));
+  } else {
+    for (const auto& [key, aggs] : groups_) {
+      Row out = key;
+      BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&out));
+      BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(out)));
+    }
+  }
+  return EmitFinish(kPortOut);
+}
+
+// ---------------------------------------------------- BinaryGroupBy(hash)
+
+BinaryGroupByHashOp::BinaryGroupByHashOp(
+    int left_key_slot, int right_key_slot,
+    std::vector<AggregateSpec> aggregates)
+    : left_key_slot_(left_key_slot),
+      right_key_slot_(right_key_slot),
+      aggregates_(std::move(aggregates)) {}
+
+void BinaryGroupByHashOp::Reset() {
+  BinaryPhysOp::Reset();
+  group_values_.clear();
+  empty_group_values_.clear();
+}
+
+Status BinaryGroupByHashOp::BuildFromRight() {
+  // Phase 1: accumulate one AggregatorSet per distinct right key.
+  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowHash, RowEq>
+      groups;
+  for (const Row& row : right_rows()) {
+    const Value& key_val = row[static_cast<size_t>(right_key_slot_)];
+    if (key_val.is_null()) continue;  // SQL '=' never matches NULL
+    Row key{key_val};
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups
+               .emplace(std::move(key),
+                        std::make_unique<AggregatorSet>(&aggregates_))
+               .first;
+    }
+    EvalContext ectx{&row, ctx_->outer_row()};
+    BYPASS_RETURN_IF_ERROR(it->second->Accumulate(ectx));
+  }
+  // Phase 2: finalize into value rows probed per left tuple.
+  group_values_.clear();
+  for (const auto& [key, aggs] : groups) {
+    Row vals;
+    BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&vals));
+    group_values_.emplace(key, std::move(vals));
+  }
+  // f(∅) for empty groups.
+  empty_group_values_.clear();
+  for (const AggregateSpec& a : aggregates_) {
+    empty_group_values_.push_back(AggEmptyValue(a.func));
+  }
+  return Status::OK();
+}
+
+Status BinaryGroupByHashOp::ProcessLeft(Row row) {
+  const Value& key_val = row[static_cast<size_t>(left_key_slot_)];
+  const Row* vals = &empty_group_values_;
+  if (!key_val.is_null()) {
+    const auto it = group_values_.find(Row{key_val});
+    if (it != group_values_.end()) vals = &it->second;
+  }
+  for (const Value& v : *vals) row.push_back(v);
+  return Emit(kPortOut, std::move(row));
+}
+
+// ------------------------------------------------------ BinaryGroupBy(nl)
+
+BinaryGroupByNLOp::BinaryGroupByNLOp(int left_key_slot, CompareOp op,
+                                     int right_key_slot,
+                                     std::vector<AggregateSpec> aggregates)
+    : left_key_slot_(left_key_slot),
+      op_(op),
+      right_key_slot_(right_key_slot),
+      aggregates_(std::move(aggregates)) {}
+
+Status BinaryGroupByNLOp::ProcessLeft(Row row) {
+  AggregatorSet aggs(&aggregates_);
+  const Value& left_key = row[static_cast<size_t>(left_key_slot_)];
+  int64_t since_check = 0;
+  for (const Row& right : right_rows()) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    const Value& right_key = right[static_cast<size_t>(right_key_slot_)];
+    if (left_key.Compare(op_, right_key) != TriBool::kTrue) continue;
+    EvalContext ectx{&right, ctx_->outer_row()};
+    BYPASS_RETURN_IF_ERROR(aggs.Accumulate(ectx));
+  }
+  BYPASS_RETURN_IF_ERROR(aggs.FinalizeInto(&row));
+  return Emit(kPortOut, std::move(row));
+}
+
+}  // namespace bypass

@@ -1,0 +1,87 @@
+// Grouping operators: unary grouping Γ_{g;=A;f} (hash aggregation, with a
+// scalar mode for aggregate-without-GROUP-BY blocks) and binary grouping
+// Γ_{g;A1θA2;f} (Cluet/Moerkotte; main-memory implementations follow
+// May/Moerkotte [21]: hash-based for θ = '=', nested-loop otherwise).
+#ifndef BYPASSDB_EXEC_GROUP_BY_H_
+#define BYPASSDB_EXEC_GROUP_BY_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/phys_op.h"
+#include "expr/agg.h"
+#include "expr/expr.h"
+
+namespace bypass {
+
+/// Hash aggregation. Output = group-key values ++ aggregate values. In
+/// scalar mode (no keys) exactly one row is emitted even on empty input.
+class HashGroupByOp : public UnaryPhysOp {
+ public:
+  HashGroupByOp(std::vector<int> key_slots,
+                std::vector<AggregateSpec> aggregates, bool scalar);
+
+  void Reset() override;
+  Status Consume(int in_port, Row row) override;
+  Status FinishPort(int in_port) override;
+  std::string Label() const override {
+    return scalar_ ? "ScalarAgg" : "HashGroupBy";
+  }
+
+ private:
+  std::vector<int> key_slots_;
+  std::vector<AggregateSpec> aggregates_;
+  bool scalar_;
+  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowHash, RowEq>
+      groups_;
+  std::unique_ptr<AggregatorSet> scalar_group_;
+};
+
+/// Binary grouping, hash variant (θ = '='): every left tuple is extended
+/// with the aggregates over its group of right tuples; empty groups yield
+/// f(∅). Aggregate arguments are evaluated against right-side rows.
+class BinaryGroupByHashOp : public BinaryPhysOp {
+ public:
+  BinaryGroupByHashOp(int left_key_slot, int right_key_slot,
+                      std::vector<AggregateSpec> aggregates);
+
+  void Reset() override;
+  std::string Label() const override { return "BinaryGroupBy(hash)"; }
+
+ protected:
+  Status BuildFromRight() override;
+  Status ProcessLeft(Row row) override;
+  Status FinishBoth() override { return EmitFinish(kPortOut); }
+
+ private:
+  int left_key_slot_;
+  int right_key_slot_;
+  std::vector<AggregateSpec> aggregates_;
+  std::unordered_map<Row, Row, RowHash, RowEq> group_values_;
+  Row empty_group_values_;
+};
+
+/// Binary grouping, nested-loop variant for arbitrary θ.
+class BinaryGroupByNLOp : public BinaryPhysOp {
+ public:
+  BinaryGroupByNLOp(int left_key_slot, CompareOp op, int right_key_slot,
+                    std::vector<AggregateSpec> aggregates);
+
+  std::string Label() const override { return "BinaryGroupBy(nl)"; }
+
+ protected:
+  Status ProcessLeft(Row row) override;
+  Status FinishBoth() override { return EmitFinish(kPortOut); }
+
+ private:
+  int left_key_slot_;
+  CompareOp op_;
+  int right_key_slot_;
+  std::vector<AggregateSpec> aggregates_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_GROUP_BY_H_

@@ -1,0 +1,106 @@
+#include "exec/join.h"
+
+namespace bypass {
+
+namespace {
+
+bool AnyNull(const Row& row, const std::vector<int>& slots) {
+  for (int s : slots) {
+    if (row[static_cast<size_t>(s)].is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void JoinHashTable::Clear() { map_.clear(); }
+
+void JoinHashTable::Build(const std::vector<Row>& rows,
+                          const std::vector<int>& key_slots) {
+  map_.clear();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (AnyNull(rows[i], key_slots)) continue;
+    map_[ProjectRow(rows[i], key_slots)].push_back(i);
+  }
+}
+
+const std::vector<size_t>* JoinHashTable::Probe(
+    const Row& row, const std::vector<int>& probe_slots) const {
+  if (AnyNull(row, probe_slots)) return nullptr;
+  const auto it = map_.find(ProjectRow(row, probe_slots));
+  if (it == map_.end()) return nullptr;
+  return &it->second;
+}
+
+// --------------------------------------------------------------- HashJoin
+
+void HashJoinOp::Reset() {
+  BinaryPhysOp::Reset();
+  table_.Clear();
+}
+
+Status HashJoinOp::BuildFromRight() {
+  table_.Build(right_rows(), right_key_slots_);
+  return Status::OK();
+}
+
+Status HashJoinOp::ProcessLeft(Row row) {
+  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
+  if (matches == nullptr) return Status::OK();
+  for (size_t idx : *matches) {
+    Row joined = ConcatRows(row, right_rows()[idx]);
+    if (residual_ != nullptr) {
+      EvalContext ectx{&joined, ctx_->outer_row()};
+      BYPASS_ASSIGN_OR_RETURN(Value v, residual_->Eval(ectx));
+      if (ValueToTriBool(v) != TriBool::kTrue) continue;
+    }
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- NLJoin
+
+Status NLJoinOp::ProcessLeft(Row row) {
+  int64_t since_check = 0;
+  for (const Row& right : right_rows()) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    Row joined = ConcatRows(row, right);
+    if (predicate_ != nullptr) {
+      EvalContext ectx{&joined, ctx_->outer_row()};
+      BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+      if (ValueToTriBool(v) != TriBool::kTrue) continue;
+    }
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- BypassNLJoin
+
+Status BypassNLJoinOp::ProcessLeft(Row row) {
+  int64_t since_check = 0;
+  for (const Row& right : right_rows()) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    Row joined = ConcatRows(row, right);
+    EvalContext ectx{&joined, ctx_->outer_row()};
+    BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+    const int port =
+        ValueToTriBool(v) == TriBool::kTrue ? kPortOut : kPortNegative;
+    BYPASS_RETURN_IF_ERROR(Emit(port, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+Status BypassNLJoinOp::FinishBoth() {
+  BYPASS_RETURN_IF_ERROR(EmitFinish(kPortOut));
+  return EmitFinish(kPortNegative);
+}
+
+}  // namespace bypass

@@ -1,0 +1,102 @@
+// Inner joins: hash join for equi-predicates, nested-loop join for
+// arbitrary predicates, and the bypass nested-loop join ⋈± whose negative
+// stream carries the pairs failing the predicate (Eqv. 5).
+#ifndef BYPASSDB_EXEC_JOIN_H_
+#define BYPASSDB_EXEC_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/phys_op.h"
+#include "expr/expr.h"
+
+namespace bypass {
+
+/// Hash table from key rows to right-side row indices; SQL semantics:
+/// rows with any NULL key never participate.
+class JoinHashTable {
+ public:
+  void Clear();
+
+  /// Indexes `rows` by the values at `key_slots` (NULL-keyed rows are
+  /// skipped).
+  void Build(const std::vector<Row>& rows,
+             const std::vector<int>& key_slots);
+
+  /// Matching right-row indices for the probe key taken from `row` at
+  /// `probe_slots`; empty when the key has NULLs.
+  const std::vector<size_t>* Probe(const Row& row,
+                                   const std::vector<int>& probe_slots)
+      const;
+
+ private:
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> map_;
+};
+
+/// Equi hash join (right = build side). Optional residual predicate over
+/// the concatenated row.
+class HashJoinOp : public BinaryPhysOp {
+ public:
+  HashJoinOp(std::vector<int> left_key_slots,
+             std::vector<int> right_key_slots, ExprPtr residual)
+      : left_key_slots_(std::move(left_key_slots)),
+        right_key_slots_(std::move(right_key_slots)),
+        residual_(std::move(residual)) {}
+
+  void Reset() override;
+  std::string Label() const override { return "HashJoin"; }
+
+ protected:
+  Status BuildFromRight() override;
+  Status ProcessLeft(Row row) override;
+  Status FinishBoth() override { return EmitFinish(kPortOut); }
+
+ private:
+  std::vector<int> left_key_slots_;
+  std::vector<int> right_key_slots_;
+  ExprPtr residual_;
+  JoinHashTable table_;
+};
+
+/// Nested-loop join; null predicate = cross product.
+class NLJoinOp : public BinaryPhysOp {
+ public:
+  explicit NLJoinOp(ExprPtr predicate) : predicate_(std::move(predicate)) {}
+
+  std::string Label() const override {
+    return predicate_ ? "NLJoin " + predicate_->ToString()
+                      : "CrossProduct";
+  }
+
+ protected:
+  Status ProcessLeft(Row row) override;
+  Status FinishBoth() override { return EmitFinish(kPortOut); }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Bypass nested-loop join ⋈±: positive port gets pairs satisfying the
+/// predicate, negative port the complement (e1 × e2 minus the matches).
+class BypassNLJoinOp : public BinaryPhysOp {
+ public:
+  explicit BypassNLJoinOp(ExprPtr predicate)
+      : BinaryPhysOp(/*num_out_ports=*/2),
+        predicate_(std::move(predicate)) {}
+
+  std::string Label() const override {
+    return "BypassNLJoin± " + predicate_->ToString();
+  }
+
+ protected:
+  Status ProcessLeft(Row row) override;
+  Status FinishBoth() override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_JOIN_H_

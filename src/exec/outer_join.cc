@@ -1,0 +1,48 @@
+#include "exec/outer_join.h"
+
+namespace bypass {
+
+void HashLeftOuterJoinOp::Reset() {
+  BinaryPhysOp::Reset();
+  table_.Clear();
+}
+
+Status HashLeftOuterJoinOp::BuildFromRight() {
+  table_.Build(right_rows(), right_key_slots_);
+  return Status::OK();
+}
+
+Status HashLeftOuterJoinOp::ProcessLeft(Row row) {
+  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
+  if (matches == nullptr || matches->empty()) {
+    return Emit(kPortOut, ConcatRows(row, unmatched_right_));
+  }
+  for (size_t idx : *matches) {
+    BYPASS_RETURN_IF_ERROR(
+        Emit(kPortOut, ConcatRows(row, right_rows()[idx])));
+  }
+  return Status::OK();
+}
+
+Status NLLeftOuterJoinOp::ProcessLeft(Row row) {
+  bool matched = false;
+  int64_t since_check = 0;
+  for (const Row& right : right_rows()) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    Row joined = ConcatRows(row, right);
+    EvalContext ectx{&joined, ctx_->outer_row()};
+    BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+    if (ValueToTriBool(v) != TriBool::kTrue) continue;
+    matched = true;
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+  }
+  if (!matched) {
+    return Emit(kPortOut, ConcatRows(row, unmatched_right_));
+  }
+  return Status::OK();
+}
+
+}  // namespace bypass

@@ -1,0 +1,99 @@
+#include "exec/phys_op.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+void PhysOp::AddConsumer(int out_port, PhysOp* consumer, int in_port) {
+  BYPASS_CHECK(out_port >= 0 &&
+               out_port < static_cast<int>(out_edges_.size()));
+  out_edges_[static_cast<size_t>(out_port)].push_back(
+      Edge{consumer, in_port});
+}
+
+Status PhysOp::Prepare(ExecContext* ctx) {
+  ctx_ = ctx;
+  emitted_.assign(out_edges_.size(), 0);
+  return Status::OK();
+}
+
+Status PhysOp::Emit(int out_port, Row row) {
+  ++emitted_[static_cast<size_t>(out_port)];
+  const auto& edges = out_edges_[static_cast<size_t>(out_port)];
+  if (edges.empty()) return Status::OK();
+  // Copy for all consumers but the last; move into the last.
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    BYPASS_RETURN_IF_ERROR(
+        edges[i].consumer->Consume(edges[i].in_port, row));
+  }
+  return edges.back().consumer->Consume(edges.back().in_port,
+                                        std::move(row));
+}
+
+Status PhysOp::EmitFinish(int out_port) {
+  for (const Edge& e : out_edges_[static_cast<size_t>(out_port)]) {
+    BYPASS_RETURN_IF_ERROR(e.consumer->FinishPort(e.in_port));
+  }
+  return Status::OK();
+}
+
+Status UnaryPhysOp::FinishPort(int in_port) {
+  BYPASS_CHECK(in_port == 0);
+  for (int p = 0; p < num_out_ports(); ++p) {
+    BYPASS_RETURN_IF_ERROR(EmitFinish(p));
+  }
+  return Status::OK();
+}
+
+Status BinaryPhysOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(PhysOp::Prepare(ctx));
+  return Status::OK();
+}
+
+void BinaryPhysOp::Reset() {
+  right_rows_.clear();
+  pending_left_.clear();
+  right_done_ = false;
+  left_done_ = false;
+  finished_ = false;
+}
+
+Status BinaryPhysOp::Consume(int in_port, Row row) {
+  if (in_port == kRight) {
+    BYPASS_CHECK_MSG(!right_done_, "row after right-side finish");
+    right_rows_.push_back(std::move(row));
+    return Status::OK();
+  }
+  BYPASS_CHECK(in_port == kLeft);
+  if (!right_done_) {
+    // The executor could not schedule the right pipeline first (shared
+    // DAG sources); fall back to buffering the left side.
+    pending_left_.push_back(std::move(row));
+    return Status::OK();
+  }
+  return ProcessLeft(std::move(row));
+}
+
+Status BinaryPhysOp::FinishPort(int in_port) {
+  if (in_port == kRight) {
+    right_done_ = true;
+    BYPASS_RETURN_IF_ERROR(BuildFromRight());
+    std::vector<Row> pending = std::move(pending_left_);
+    pending_left_.clear();
+    for (Row& r : pending) {
+      BYPASS_RETURN_IF_ERROR(ProcessLeft(std::move(r)));
+    }
+  } else {
+    BYPASS_CHECK(in_port == kLeft);
+    left_done_ = true;
+  }
+  return MaybeFinish();
+}
+
+Status BinaryPhysOp::MaybeFinish() {
+  if (finished_ || !left_done_ || !right_done_) return Status::OK();
+  finished_ = true;
+  return FinishBoth();
+}
+
+}  // namespace bypass

@@ -1,0 +1,132 @@
+// Physical operator base. Execution is push-based: producers call
+// Consume(port, row) on their consumers and FinishPort(port) at
+// end-of-stream. Push style makes the paper's DAG-structured bypass plans
+// natural — a bypass operator simply emits on two output ports, and the
+// re-uniting union consumes on two input ports.
+#ifndef BYPASSDB_EXEC_PHYS_OP_H_
+#define BYPASSDB_EXEC_PHYS_OP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "types/row.h"
+
+namespace bypass {
+
+/// Output port indices: 0 = (positive) output, 1 = bypass negative stream.
+inline constexpr int kPortOut = 0;
+inline constexpr int kPortNegative = 1;
+
+class PhysOp {
+ public:
+  PhysOp() : out_edges_(1) {}
+  virtual ~PhysOp() = default;
+  PhysOp(const PhysOp&) = delete;
+  PhysOp& operator=(const PhysOp&) = delete;
+
+  /// Wires `out_port` of this operator into `in_port` of `consumer`.
+  void AddConsumer(int out_port, PhysOp* consumer, int in_port);
+
+  /// Called once per execution before any row flows; implementations must
+  /// call the base method. Re-invoked (after Reset) for subplan re-runs.
+  virtual Status Prepare(ExecContext* ctx);
+
+  /// Clears all accumulated state so the operator can run again.
+  virtual void Reset() {}
+
+  /// Receives one input row on `in_port`.
+  virtual Status Consume(int in_port, Row row) = 0;
+
+  /// Signals end-of-stream on `in_port`.
+  virtual Status FinishPort(int in_port) = 0;
+
+  virtual std::string Label() const = 0;
+
+  int num_out_ports() const { return static_cast<int>(out_edges_.size()); }
+
+  /// Rows emitted on `out_port` during the last execution (EXPLAIN
+  /// ANALYZE-style accounting; reset by Prepare).
+  int64_t rows_emitted(int out_port) const {
+    const size_t port = static_cast<size_t>(out_port);
+    return port < emitted_.size() ? emitted_[port] : 0;
+  }
+
+ protected:
+  explicit PhysOp(int num_out_ports) : out_edges_(num_out_ports) {}
+
+  /// Forwards a row to all consumers of `out_port` (copies for fan-out).
+  Status Emit(int out_port, Row row);
+
+  /// Forwards end-of-stream on `out_port`.
+  Status EmitFinish(int out_port);
+
+  ExecContext* ctx_ = nullptr;
+
+ private:
+  struct Edge {
+    PhysOp* consumer;
+    int in_port;
+  };
+  std::vector<std::vector<Edge>> out_edges_;
+  std::vector<int64_t> emitted_;
+};
+
+using PhysOpPtr = std::unique_ptr<PhysOp>;
+
+/// Base for unary streaming operators (single input port).
+class UnaryPhysOp : public PhysOp {
+ public:
+  UnaryPhysOp() = default;
+  explicit UnaryPhysOp(int num_out_ports) : PhysOp(num_out_ports) {}
+
+  Status FinishPort(int in_port) override;
+};
+
+/// Base for binary operators that logically build from the right input and
+/// stream the left one. Buffering rules make execution correct regardless
+/// of the order source pipelines run in: right rows are always buffered;
+/// left rows are buffered only while the right input is still open, then
+/// replayed.
+class BinaryPhysOp : public PhysOp {
+ public:
+  BinaryPhysOp() = default;
+  explicit BinaryPhysOp(int num_out_ports) : PhysOp(num_out_ports) {}
+
+  static constexpr int kLeft = 0;
+  static constexpr int kRight = 1;
+
+  Status Prepare(ExecContext* ctx) override;
+  void Reset() override;
+  Status Consume(int in_port, Row row) final;
+  Status FinishPort(int in_port) final;
+
+ protected:
+  /// Called once when the right input finished, before any left row is
+  /// processed; `right_rows()` is complete at this point.
+  virtual Status BuildFromRight() { return Status::OK(); }
+
+  /// Called for each left row after the right side is built.
+  virtual Status ProcessLeft(Row row) = 0;
+
+  /// Called when both inputs have finished and all left rows were
+  /// processed; must EmitFinish on every output port.
+  virtual Status FinishBoth() = 0;
+
+  const std::vector<Row>& right_rows() const { return right_rows_; }
+
+ private:
+  std::vector<Row> right_rows_;
+  std::vector<Row> pending_left_;
+  bool right_done_ = false;
+  bool left_done_ = false;
+  bool finished_ = false;
+
+  Status MaybeFinish();
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_PHYS_OP_H_

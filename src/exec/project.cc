@@ -1,0 +1,57 @@
+#include "exec/project.h"
+
+#include "common/string_util.h"
+
+namespace bypass {
+
+Status ProjectPhysOp::Consume(int, Row row) {
+  EvalContext ectx{&row, ctx_->outer_row()};
+  Row out;
+  out.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, e->Eval(ectx));
+    out.push_back(std::move(v));
+  }
+  return Emit(kPortOut, std::move(out));
+}
+
+std::string ProjectPhysOp::Label() const {
+  std::vector<std::string> parts;
+  parts.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) parts.push_back(e->ToString());
+  return "Project [" + Join(parts, ", ") + "]";
+}
+
+Status MapPhysOp::Consume(int, Row row) {
+  EvalContext ectx{&row, ctx_->outer_row()};
+  Row extra;
+  extra.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, e->Eval(ectx));
+    extra.push_back(std::move(v));
+  }
+  for (Value& v : extra) row.push_back(std::move(v));
+  return Emit(kPortOut, std::move(row));
+}
+
+std::string MapPhysOp::Label() const {
+  std::vector<std::string> parts;
+  parts.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) parts.push_back(e->ToString());
+  return "Map χ[" + Join(parts, ", ") + "]";
+}
+
+Status NumberingPhysOp::Consume(int, Row row) {
+  row.push_back(Value::Int64(next_id_++));
+  return Emit(kPortOut, std::move(row));
+}
+
+Status LimitPhysOp::Consume(int, Row row) {
+  if (seen_ >= count_) return Status::OK();
+  ++seen_;
+  BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(row)));
+  if (seen_ >= count_) ctx_->set_cancelled(true);
+  return Status::OK();
+}
+
+}  // namespace bypass

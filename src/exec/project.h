@@ -1,0 +1,72 @@
+// Streaming row-shaping operators: projection Π, map χ (append computed
+// columns), and numbering ν (append a unique tuple id).
+#ifndef BYPASSDB_EXEC_PROJECT_H_
+#define BYPASSDB_EXEC_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/phys_op.h"
+#include "expr/expr.h"
+
+namespace bypass {
+
+/// Π: output = one value per expression.
+class ProjectPhysOp : public UnaryPhysOp {
+ public:
+  explicit ProjectPhysOp(std::vector<ExprPtr> exprs)
+      : exprs_(std::move(exprs)) {}
+
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// χ: output = input row ++ one value per expression.
+class MapPhysOp : public UnaryPhysOp {
+ public:
+  explicit MapPhysOp(std::vector<ExprPtr> exprs)
+      : exprs_(std::move(exprs)) {}
+
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+};
+
+/// ν: output = input row ++ [running int64 id starting at 0].
+class NumberingPhysOp : public UnaryPhysOp {
+ public:
+  NumberingPhysOp() = default;
+
+  void Reset() override { next_id_ = 0; }
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override { return "Numbering ν"; }
+
+ private:
+  int64_t next_id_ = 0;
+};
+
+/// LIMIT n: forwards the first n rows, then drops the rest (and asks the
+/// context to cancel the producers when possible).
+class LimitPhysOp : public UnaryPhysOp {
+ public:
+  explicit LimitPhysOp(int64_t count) : count_(count) {}
+
+  void Reset() override { seen_ = 0; }
+  Status Consume(int in_port, Row row) override;
+  std::string Label() const override {
+    return "Limit " + std::to_string(count_);
+  }
+
+ private:
+  int64_t count_;
+  int64_t seen_ = 0;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_PROJECT_H_

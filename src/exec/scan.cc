@@ -1,0 +1,20 @@
+#include "exec/scan.h"
+
+namespace bypass {
+
+Status TableScanOp::Run() {
+  const std::vector<Row>& rows = table_->rows();
+  int64_t since_check = 0;
+  for (const Row& row : rows) {
+    if (ctx_->cancelled()) break;
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    if (ctx_->stats() != nullptr) ++ctx_->stats()->rows_scanned;
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, row));
+  }
+  return EmitFinish(kPortOut);
+}
+
+}  // namespace bypass

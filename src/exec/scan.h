@@ -1,0 +1,36 @@
+// Table scan: the plan's source operator. The executor drives execution by
+// calling Run() on every source in dependency order.
+#ifndef BYPASSDB_EXEC_SCAN_H_
+#define BYPASSDB_EXEC_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "exec/phys_op.h"
+
+namespace bypass {
+
+class TableScanOp : public UnaryPhysOp {
+ public:
+  explicit TableScanOp(const Table* table) : table_(table) {}
+
+  /// Pushes all rows to the consumers, polling cancellation and the time
+  /// budget, then finishes the output.
+  Status Run();
+
+  Status Consume(int, Row) override {
+    return Status::Internal("TableScan has no input");
+  }
+
+  std::string Label() const override {
+    return "Scan(" + table_->name() + ")";
+  }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_SCAN_H_

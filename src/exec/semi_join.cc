@@ -1,0 +1,46 @@
+#include "exec/semi_join.h"
+
+namespace bypass {
+
+void HashExistenceJoinOp::Reset() {
+  BinaryPhysOp::Reset();
+  table_.Clear();
+}
+
+Status HashExistenceJoinOp::BuildFromRight() {
+  table_.Build(right_rows(), right_key_slots_);
+  return Status::OK();
+}
+
+Status HashExistenceJoinOp::ProcessLeft(Row row) {
+  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
+  const bool has_match = matches != nullptr && !matches->empty();
+  if (has_match != anti_) {
+    return Emit(kPortOut, std::move(row));
+  }
+  return Status::OK();
+}
+
+Status NLExistenceJoinOp::ProcessLeft(Row row) {
+  bool has_match = false;
+  int64_t since_check = 0;
+  for (const Row& right : right_rows()) {
+    if (++since_check >= 4096) {
+      since_check = 0;
+      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    }
+    Row joined = ConcatRows(row, right);
+    EvalContext ectx{&joined, ctx_->outer_row()};
+    BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
+    if (ValueToTriBool(v) == TriBool::kTrue) {
+      has_match = true;
+      break;
+    }
+  }
+  if (has_match != anti_) {
+    return Emit(kPortOut, std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace bypass

@@ -1,0 +1,23 @@
+#include "exec/sink.h"
+
+namespace bypass {
+
+Status CollectorSink::Consume(int, Row row) {
+  if (ctx_->stats() != nullptr) ++ctx_->stats()->rows_emitted;
+  rows_.push_back(std::move(row));
+  if (ctx_->limit_one()) ctx_->set_cancelled(true);
+  return Status::OK();
+}
+
+Status CollectorSink::FinishPort(int) {
+  finished_ = true;
+  return Status::OK();
+}
+
+Status ExistsSink::Consume(int, Row) {
+  found_ = true;
+  ctx_->set_cancelled(true);  // producers stop as soon as they notice
+  return Status::OK();
+}
+
+}  // namespace bypass

@@ -1,0 +1,53 @@
+// Plan sinks: terminal consumers that collect or probe the result stream.
+#ifndef BYPASSDB_EXEC_SINK_H_
+#define BYPASSDB_EXEC_SINK_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/phys_op.h"
+
+namespace bypass {
+
+/// Collects all result rows.
+class CollectorSink : public PhysOp {
+ public:
+  CollectorSink() = default;
+
+  void Reset() override {
+    rows_.clear();
+    finished_ = false;
+  }
+  Status Consume(int in_port, Row row) override;
+  Status FinishPort(int in_port) override;
+  std::string Label() const override { return "Collect"; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row> TakeRows() { return std::move(rows_); }
+  bool finished() const { return finished_; }
+
+ private:
+  std::vector<Row> rows_;
+  bool finished_ = false;
+};
+
+/// Remembers whether any row arrived and cancels the execution after the
+/// first one — the EXISTS probe.
+class ExistsSink : public PhysOp {
+ public:
+  ExistsSink() = default;
+
+  void Reset() override { found_ = false; }
+  Status Consume(int in_port, Row row) override;
+  Status FinishPort(int) override { return Status::OK(); }
+  std::string Label() const override { return "ExistsProbe"; }
+
+  bool found() const { return found_; }
+
+ private:
+  bool found_ = false;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_SINK_H_

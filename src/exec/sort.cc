@@ -1,0 +1,42 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace bypass {
+
+Status SortPhysOp::Consume(int, Row row) {
+  buffer_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status SortPhysOp::FinishPort(int) {
+  // Precompute key rows so the comparator never fails mid-sort.
+  std::vector<std::pair<Row, size_t>> keyed;
+  keyed.reserve(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    EvalContext ectx{&buffer_[i], ctx_->outer_row()};
+    Row key;
+    key.reserve(keys_.size());
+    for (const PhysSortKey& k : keys_) {
+      BYPASS_ASSIGN_OR_RETURN(Value v, k.expr->Eval(ectx));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(
+      keyed.begin(), keyed.end(),
+      [this](const auto& a, const auto& b) {
+        for (size_t i = 0; i < keys_.size(); ++i) {
+          const int c = a.first[i].OrderCompare(b.first[i]);
+          if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
+        }
+        return a.second < b.second;  // stability by arrival order
+      });
+  for (const auto& [key, idx] : keyed) {
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(buffer_[idx])));
+  }
+  buffer_.clear();
+  return EmitFinish(kPortOut);
+}
+
+}  // namespace bypass

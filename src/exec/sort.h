@@ -1,0 +1,37 @@
+// ORDER BY: buffers its input and emits sorted on finish. NULLs sort
+// first ascending (Value::OrderCompare's total order).
+#ifndef BYPASSDB_EXEC_SORT_H_
+#define BYPASSDB_EXEC_SORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/phys_op.h"
+#include "expr/expr.h"
+
+namespace bypass {
+
+/// A bound sort key.
+struct PhysSortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+class SortPhysOp : public UnaryPhysOp {
+ public:
+  explicit SortPhysOp(std::vector<PhysSortKey> keys)
+      : keys_(std::move(keys)) {}
+
+  void Reset() override { buffer_.clear(); }
+  Status Consume(int in_port, Row row) override;
+  Status FinishPort(int in_port) override;
+  std::string Label() const override { return "Sort"; }
+
+ private:
+  std::vector<PhysSortKey> keys_;
+  std::vector<Row> buffer_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_SORT_H_

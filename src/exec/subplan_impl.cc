@@ -1,0 +1,139 @@
+#include "exec/subplan_impl.h"
+
+namespace bypass {
+
+ExecSubplan::ExecSubplan(PhysicalPlan plan,
+                         std::vector<int> free_outer_slots, bool memoize)
+    : plan_(std::move(plan)),
+      free_outer_slots_(std::move(free_outer_slots)),
+      memoize_(memoize) {}
+
+void ExecSubplan::Configure(
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    ExecStats* stats) {
+  if (deadline.has_value()) {
+    ctx_.set_deadline(*deadline);
+  } else {
+    ctx_.clear_deadline();
+  }
+  ctx_.set_stats(stats);
+  for (ExecSubplan* nested : plan_.subplans) {
+    nested->Configure(deadline, stats);
+  }
+}
+
+void ExecSubplan::ClearCache() {
+  scalar_cache_.clear();
+  exists_cache_.clear();
+  in_cache_.clear();
+  num_executions_ = 0;
+  for (ExecSubplan* nested : plan_.subplans) {
+    nested->ClearCache();
+  }
+}
+
+Row ExecSubplan::MemoKey(const Row* outer_row) const {
+  if (outer_row == nullptr || free_outer_slots_.empty()) return Row{};
+  return ProjectRow(*outer_row, free_outer_slots_);
+}
+
+Status ExecSubplan::Execute(const Row* outer_row) {
+  // The per-row re-execution loop is the canonical plans' hot spot; it is
+  // also where a time budget must be enforced even when each individual
+  // run is short.
+  BYPASS_RETURN_IF_ERROR(ctx_.CheckBudget());
+  ++num_executions_;
+  if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_executions;
+  ctx_.set_cancelled(false);
+  ctx_.set_outer_row(outer_row);
+  return RunPlan(&plan_, &ctx_);
+}
+
+Result<Value> ExecSubplan::EvalScalar(const Row* outer_row) {
+  // Uncorrelated (type A) blocks are always materialized once; correlated
+  // blocks only under the memoization strategy.
+  const bool use_cache = memoize_ || free_outer_slots_.empty();
+  Row key;
+  if (use_cache) {
+    key = MemoKey(outer_row);
+    const auto it = scalar_cache_.find(key);
+    if (it != scalar_cache_.end()) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return it->second;
+    }
+  }
+  BYPASS_RETURN_IF_ERROR(Execute(outer_row));
+  const std::vector<Row>& rows = plan_.sink->rows();
+  Value result;
+  if (rows.empty()) {
+    // Only possible for non-aggregate scalar blocks; SQL yields NULL.
+    result = Value::Null();
+  } else if (rows.size() == 1) {
+    if (rows[0].size() != 1) {
+      return Status::ExecutionError(
+          "scalar subquery must return a single column");
+    }
+    result = rows[0][0];
+  } else {
+    return Status::ExecutionError(
+        "scalar subquery returned more than one row");
+  }
+  if (use_cache) scalar_cache_.emplace(std::move(key), result);
+  return result;
+}
+
+Result<bool> ExecSubplan::EvalExists(const Row* outer_row) {
+  const bool use_cache = memoize_ || free_outer_slots_.empty();
+  Row key;
+  if (use_cache) {
+    key = MemoKey(outer_row);
+    const auto it = exists_cache_.find(key);
+    if (it != exists_cache_.end()) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return it->second;
+    }
+  }
+  ctx_.set_limit_one(true);
+  Status st = Execute(outer_row);
+  ctx_.set_limit_one(false);
+  BYPASS_RETURN_IF_ERROR(st);
+  const bool found = !plan_.sink->rows().empty();
+  if (use_cache) exists_cache_.emplace(std::move(key), found);
+  return found;
+}
+
+Result<TriBool> ExecSubplan::EvalIn(const Value& probe,
+                                    const Row* outer_row) {
+  const bool use_cache = memoize_ || free_outer_slots_.empty();
+  Row key;
+  if (use_cache) {
+    key = MemoKey(outer_row);
+    key.push_back(probe);
+    const auto it = in_cache_.find(key);
+    if (it != in_cache_.end()) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return it->second;
+    }
+  }
+  BYPASS_RETURN_IF_ERROR(Execute(outer_row));
+  const std::vector<Row>& rows = plan_.sink->rows();
+  // SQL three-valued IN: true on some equal row; unknown if no match but
+  // a NULL is involved; false otherwise.
+  TriBool result = TriBool::kFalse;
+  for (const Row& r : rows) {
+    if (r.size() != 1) {
+      return Status::ExecutionError(
+          "IN subquery must return a single column");
+    }
+    const TriBool c = probe.Compare(CompareOp::kEq, r[0]);
+    if (c == TriBool::kTrue) {
+      result = TriBool::kTrue;
+      break;
+    }
+    if (c == TriBool::kUnknown) result = TriBool::kUnknown;
+  }
+  if (use_cache) in_cache_.emplace(std::move(key), result);
+  return result;
+}
+
+}  // namespace bypass

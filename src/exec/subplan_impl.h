@@ -1,0 +1,63 @@
+// ExecSubplan: executable nested query block. Re-runs its physical plan
+// per outer tuple (the canonical nested-loop evaluation) with optional
+// memoization keyed on the block's free attributes — the strategy our
+// benchmark suite labels "canonical-memo".
+#ifndef BYPASSDB_EXEC_SUBPLAN_IMPL_H_
+#define BYPASSDB_EXEC_SUBPLAN_IMPL_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.h"
+#include "expr/subplan.h"
+
+namespace bypass {
+
+class ExecSubplan : public CorrelatedSubplan {
+ public:
+  /// `free_outer_slots`: outer-row slots the block actually reads; empty
+  /// means the block is uncorrelated (Kim type A/N) and its result is
+  /// cached after the first execution regardless of the memoize flag.
+  ExecSubplan(PhysicalPlan plan, std::vector<int> free_outer_slots,
+              bool memoize);
+
+  Result<Value> EvalScalar(const Row* outer_row) override;
+  Result<bool> EvalExists(const Row* outer_row) override;
+  Result<TriBool> EvalIn(const Value& probe,
+                         const Row* outer_row) override;
+
+  int64_t num_executions() const override { return num_executions_; }
+
+  /// Propagates the query's deadline and stats sink into this block's
+  /// private execution context (called by the engine before running).
+  void Configure(std::optional<std::chrono::steady_clock::time_point>
+                     deadline,
+                 ExecStats* stats);
+
+  /// Drops memoized results (between benchmark repetitions).
+  void ClearCache();
+
+  PhysicalPlan* plan() { return &plan_; }
+
+ private:
+  /// Runs the plan for `outer_row` and leaves the rows in the sink.
+  Status Execute(const Row* outer_row);
+
+  Row MemoKey(const Row* outer_row) const;
+
+  PhysicalPlan plan_;
+  std::vector<int> free_outer_slots_;
+  bool memoize_;
+  ExecContext ctx_;
+  int64_t num_executions_ = 0;
+
+  std::unordered_map<Row, Value, RowHash, RowEq> scalar_cache_;
+  std::unordered_map<Row, bool, RowHash, RowEq> exists_cache_;
+  std::unordered_map<Row, TriBool, RowHash, RowEq> in_cache_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_SUBPLAN_IMPL_H_

@@ -1,0 +1,20 @@
+#include "exec/union_op.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+Status UnionAllOp::Consume(int, Row row) {
+  return Emit(kPortOut, std::move(row));
+}
+
+Status UnionAllOp::FinishPort(int) {
+  ++finished_inputs_;
+  BYPASS_CHECK_MSG(finished_inputs_ <= 2, "union input finished twice");
+  if (finished_inputs_ == 2) {
+    return EmitFinish(kPortOut);
+  }
+  return Status::OK();
+}
+
+}  // namespace bypass

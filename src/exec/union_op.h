@@ -1,0 +1,27 @@
+// Disjoint multiset union: forwards rows from both ports unchanged and
+// finishes once both inputs have finished. Re-unites bypass streams.
+#ifndef BYPASSDB_EXEC_UNION_OP_H_
+#define BYPASSDB_EXEC_UNION_OP_H_
+
+#include <string>
+
+#include "exec/phys_op.h"
+
+namespace bypass {
+
+class UnionAllOp : public PhysOp {
+ public:
+  UnionAllOp() = default;
+
+  void Reset() override { finished_inputs_ = 0; }
+  Status Consume(int in_port, Row row) override;
+  Status FinishPort(int in_port) override;
+  std::string Label() const override { return "UnionAll"; }
+
+ private:
+  int finished_inputs_ = 0;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_UNION_OP_H_

@@ -1,0 +1,150 @@
+#include "expr/agg.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string out = AggFuncToString(func);
+  out += "(";
+  if (distinct) out += "DISTINCT ";
+  out += arg ? arg->ToString() : "*";
+  out += ")";
+  return out;
+}
+
+bool IsAggDecomposable(const AggregateSpec& spec) {
+  // count/sum/avg/min/max all decompose; DISTINCT variants of count/sum/avg
+  // do not (paper, footnote 1). DISTINCT min/max would decompose, but we
+  // treat all DISTINCT aggregates uniformly via Eqv. 5 for simplicity —
+  // this only costs plan quality, never correctness.
+  return !spec.distinct;
+}
+
+Value AggEmptyValue(AggFunc func) {
+  return func == AggFunc::kCount ? Value::Int64(0) : Value::Null();
+}
+
+void Aggregator::Reset() {
+  count_ = 0;
+  sum_is_double_ = false;
+  int_sum_ = 0;
+  double_sum_ = 0;
+  extreme_ = Value::Null();
+  distinct_.clear();
+}
+
+Status Aggregator::Accumulate(const EvalContext& ctx) {
+  if (spec_->arg == nullptr) {
+    // '*': operate on the whole input row. COUNT(*) counts every row;
+    // COUNT(DISTINCT *) counts distinct rows. Other functions cannot take
+    // '*' (rejected at bind time).
+    if (spec_->distinct) {
+      if (!distinct_.insert(*ctx.row).second) return Status::OK();
+    }
+    ++count_;
+    return Status::OK();
+  }
+  BYPASS_ASSIGN_OR_RETURN(Value v, spec_->arg->Eval(ctx));
+  if (v.is_null()) return Status::OK();  // aggregates skip NULL inputs
+  if (spec_->distinct) {
+    Row key{v};
+    if (!distinct_.insert(std::move(key)).second) return Status::OK();
+  }
+  return AccumulateValue(v, *ctx.row);
+}
+
+Status Aggregator::AccumulateValue(const Value& v, const Row&) {
+  switch (spec_->func) {
+    case AggFunc::kCount:
+      ++count_;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (!v.is_numeric()) {
+        return Status::ExecutionError("sum/avg on non-numeric value " +
+                                      v.ToString());
+      }
+      ++count_;
+      if (v.is_double()) sum_is_double_ = true;
+      if (v.is_int64()) int_sum_ += v.int64_value();
+      double_sum_ += v.AsDouble();
+      return Status::OK();
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (extreme_.is_null()) {
+        extreme_ = v;
+      } else {
+        const int c = v.OrderCompare(extreme_);
+        if ((spec_->func == AggFunc::kMin && c < 0) ||
+            (spec_->func == AggFunc::kMax && c > 0)) {
+          extreme_ = v;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  BYPASS_UNREACHABLE("bad AggFunc");
+}
+
+Result<Value> Aggregator::Finalize() const {
+  switch (spec_->func) {
+    case AggFunc::kCount:
+      return Value::Int64(count_);
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null();  // SQL: sum(∅) is NULL
+      return sum_is_double_ ? Value::Double(double_sum_)
+                            : Value::Int64(int_sum_);
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(double_sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return extreme_;
+  }
+  BYPASS_UNREACHABLE("bad AggFunc");
+}
+
+AggregatorSet::AggregatorSet(const std::vector<AggregateSpec>* specs) {
+  aggs_.reserve(specs->size());
+  for (const AggregateSpec& s : *specs) aggs_.emplace_back(&s);
+  Reset();
+}
+
+void AggregatorSet::Reset() {
+  for (Aggregator& a : aggs_) a.Reset();
+}
+
+Status AggregatorSet::Accumulate(const EvalContext& ctx) {
+  for (Aggregator& a : aggs_) {
+    BYPASS_RETURN_IF_ERROR(a.Accumulate(ctx));
+  }
+  return Status::OK();
+}
+
+Status AggregatorSet::FinalizeInto(Row* out) const {
+  for (const Aggregator& a : aggs_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, a.Finalize());
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace bypass

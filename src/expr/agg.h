@@ -1,0 +1,86 @@
+// Aggregate function descriptors and the runtime accumulator shared by the
+// grouping operators and scalar-subquery evaluation.
+#ifndef BYPASSDB_EXPR_AGG_H_
+#define BYPASSDB_EXPR_AGG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/row.h"
+#include "types/value.h"
+
+namespace bypass {
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncToString(AggFunc func);
+
+/// One aggregate call, e.g. COUNT(DISTINCT *) or SUM(b3).
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  /// Argument expression; nullptr means '*' (the whole input row).
+  ExprPtr arg;
+  /// Name of the produced column in the output schema.
+  std::string output_name;
+
+  AggregateSpec Clone() const {
+    AggregateSpec copy = *this;
+    if (arg) copy.arg = arg->Clone();
+    return copy;
+  }
+  std::string ToString() const;
+};
+
+/// The paper's decomposability criterion (Sec. 3.3): count/sum/avg/min/max
+/// decompose; their DISTINCT variants do not (footnote 1), forcing Eqv. 5.
+bool IsAggDecomposable(const AggregateSpec& spec);
+
+/// f(∅): the left outer join's default value — 0 for count (the "count
+/// bug" fix), NULL for sum/avg/min/max.
+Value AggEmptyValue(AggFunc func);
+
+/// Streaming accumulator for one aggregate over one group.
+class Aggregator {
+ public:
+  explicit Aggregator(const AggregateSpec* spec) : spec_(spec) {}
+
+  void Reset();
+
+  /// Folds in one input tuple; evaluates the argument against `ctx`.
+  Status Accumulate(const EvalContext& ctx);
+
+  /// Current aggregate value (f(∅) when nothing was accumulated).
+  Result<Value> Finalize() const;
+
+ private:
+  Status AccumulateValue(const Value& v, const Row& full_row);
+
+  const AggregateSpec* spec_;
+  int64_t count_ = 0;        // non-null inputs folded (rows for COUNT(*))
+  bool sum_is_double_ = false;
+  int64_t int_sum_ = 0;
+  double double_sum_ = 0;
+  Value extreme_;            // running MIN/MAX
+  std::unordered_set<Row, RowHash, RowEq> distinct_;  // DISTINCT dedup
+};
+
+/// A bundle of aggregators evaluated over the same group.
+class AggregatorSet {
+ public:
+  explicit AggregatorSet(const std::vector<AggregateSpec>* specs);
+  void Reset();
+  Status Accumulate(const EvalContext& ctx);
+  /// Appends one finalized value per spec to `out`.
+  Status FinalizeInto(Row* out) const;
+
+ private:
+  std::vector<Aggregator> aggs_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXPR_AGG_H_

@@ -1,0 +1,481 @@
+#include "expr/expr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace bypass {
+
+namespace {
+
+Value TriBoolToValue(TriBool t) {
+  switch (t) {
+    case TriBool::kTrue:
+      return Value::Bool(true);
+    case TriBool::kFalse:
+      return Value::Bool(false);
+    case TriBool::kUnknown:
+      return Value::Null();
+  }
+  BYPASS_UNREACHABLE("bad TriBool");
+}
+
+}  // namespace
+
+TriBool ValueToTriBool(const Value& v) {
+  if (v.is_null()) return TriBool::kUnknown;
+  if (v.is_bool()) {
+    return v.bool_value() ? TriBool::kTrue : TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
+// ---------------------------------------------------------------- Literal
+
+Result<Value> LiteralExpr::Eval(const EvalContext&) const { return value_; }
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_shared<LiteralExpr>(value_);
+}
+
+// -------------------------------------------------------------- ColumnRef
+
+Result<Value> ColumnRefExpr::Eval(const EvalContext& ctx) const {
+  if (slot_ < 0) {
+    return Status::Internal("evaluating unbound column reference " +
+                            ToString());
+  }
+  const Row* source = is_outer_ ? ctx.outer_row : ctx.row;
+  if (source == nullptr) {
+    return Status::Internal("no " +
+                            std::string(is_outer_ ? "outer " : "") +
+                            "row bound while evaluating " + ToString());
+  }
+  if (static_cast<size_t>(slot_) >= source->size()) {
+    return Status::Internal("slot out of range for " + ToString());
+  }
+  return (*source)[static_cast<size_t>(slot_)];
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  auto copy = std::make_shared<ColumnRefExpr>(qualifier_, name_, is_outer_);
+  copy->set_slot(slot_);
+  return copy;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  std::string out;
+  if (is_outer_) out += "^";  // correlated (outer block) reference
+  if (!qualifier_.empty()) {
+    out += qualifier_;
+    out += ".";
+  }
+  out += name_;
+  return out;
+}
+
+// ------------------------------------------------------------- Comparison
+
+Result<Value> ComparisonExpr::Eval(const EvalContext& ctx) const {
+  BYPASS_ASSIGN_OR_RETURN(Value l, left_->Eval(ctx));
+  BYPASS_ASSIGN_OR_RETURN(Value r, right_->Eval(ctx));
+  return TriBoolToValue(l.Compare(op_, r));
+}
+
+ExprPtr ComparisonExpr::Clone() const {
+  return std::make_shared<ComparisonExpr>(op_, left_->Clone(),
+                                          right_->Clone());
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CompareOpToString(op_) + " " +
+         right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------- And/Or
+
+Result<Value> AndExpr::Eval(const EvalContext& ctx) const {
+  TriBool acc = TriBool::kTrue;
+  for (const ExprPtr& t : terms_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, t->Eval(ctx));
+    acc = TriAnd(acc, ValueToTriBool(v));
+    if (acc == TriBool::kFalse) break;  // short-circuit
+  }
+  return TriBoolToValue(acc);
+}
+
+ExprPtr AndExpr::Clone() const {
+  std::vector<ExprPtr> terms;
+  terms.reserve(terms_.size());
+  for (const ExprPtr& t : terms_) terms.push_back(t->Clone());
+  return std::make_shared<AndExpr>(std::move(terms));
+}
+
+std::string AndExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(terms_.size());
+  for (const ExprPtr& t : terms_) parts.push_back(t->ToString());
+  return "(" + Join(parts, " AND ") + ")";
+}
+
+Result<Value> OrExpr::Eval(const EvalContext& ctx) const {
+  TriBool acc = TriBool::kFalse;
+  for (const ExprPtr& t : terms_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, t->Eval(ctx));
+    acc = TriOr(acc, ValueToTriBool(v));
+    if (acc == TriBool::kTrue) break;  // short-circuit: the bypass intuition
+  }
+  return TriBoolToValue(acc);
+}
+
+ExprPtr OrExpr::Clone() const {
+  std::vector<ExprPtr> terms;
+  terms.reserve(terms_.size());
+  for (const ExprPtr& t : terms_) terms.push_back(t->Clone());
+  return std::make_shared<OrExpr>(std::move(terms));
+}
+
+std::string OrExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(terms_.size());
+  for (const ExprPtr& t : terms_) parts.push_back(t->ToString());
+  return "(" + Join(parts, " OR ") + ")";
+}
+
+// -------------------------------------------------------------------- Not
+
+Result<Value> NotExpr::Eval(const EvalContext& ctx) const {
+  BYPASS_ASSIGN_OR_RETURN(Value v, input_->Eval(ctx));
+  return TriBoolToValue(TriNot(ValueToTriBool(v)));
+}
+
+ExprPtr NotExpr::Clone() const {
+  return std::make_shared<NotExpr>(input_->Clone());
+}
+
+std::string NotExpr::ToString() const {
+  return "(NOT " + input_->ToString() + ")";
+}
+
+// ------------------------------------------------------------- Arithmetic
+
+Result<Value> ArithmeticExpr::Eval(const EvalContext& ctx) const {
+  BYPASS_ASSIGN_OR_RETURN(Value l, left_->Eval(ctx));
+  BYPASS_ASSIGN_OR_RETURN(Value r, right_->Eval(ctx));
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::ExecutionError("arithmetic on non-numeric values: " +
+                                  ToString());
+  }
+  if (op_ == ArithOp::kDiv) {
+    const double denom = r.AsDouble();
+    if (denom == 0.0) {
+      return Status::ExecutionError("division by zero: " + ToString());
+    }
+    return Value::Double(l.AsDouble() / denom);
+  }
+  if (l.is_int64() && r.is_int64()) {
+    const int64_t a = l.int64_value(), b = r.int64_value();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Int64(a + b);
+      case ArithOp::kSub:
+        return Value::Int64(a - b);
+      case ArithOp::kMul:
+        return Value::Int64(a * b);
+      case ArithOp::kDiv:
+        break;
+    }
+  }
+  const double a = l.AsDouble(), b = r.AsDouble();
+  switch (op_) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      break;
+  }
+  BYPASS_UNREACHABLE("bad ArithOp");
+}
+
+ExprPtr ArithmeticExpr::Clone() const {
+  return std::make_shared<ArithmeticExpr>(op_, left_->Clone(),
+                                          right_->Clone());
+}
+
+std::string ArithmeticExpr::ToString() const {
+  const char* sym = "?";
+  switch (op_) {
+    case ArithOp::kAdd:
+      sym = "+";
+      break;
+    case ArithOp::kSub:
+      sym = "-";
+      break;
+    case ArithOp::kMul:
+      sym = "*";
+      break;
+    case ArithOp::kDiv:
+      sym = "/";
+      break;
+  }
+  return "(" + left_->ToString() + " " + sym + " " + right_->ToString() +
+         ")";
+}
+
+// ------------------------------------------------------------------- Like
+
+Result<Value> LikeExpr::Eval(const EvalContext& ctx) const {
+  BYPASS_ASSIGN_OR_RETURN(Value v, input_->Eval(ctx));
+  if (v.is_null()) return Value::Null();
+  if (!v.is_string()) {
+    return Status::ExecutionError("LIKE on non-string value: " +
+                                  ToString());
+  }
+  const bool match = LikeMatch(v.string_value(), pattern_);
+  return Value::Bool(negated_ ? !match : match);
+}
+
+ExprPtr LikeExpr::Clone() const {
+  return std::make_shared<LikeExpr>(input_->Clone(), pattern_, negated_);
+}
+
+std::string LikeExpr::ToString() const {
+  return "(" + input_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "')";
+}
+
+// ----------------------------------------------------------------- IsNull
+
+Result<Value> IsNullExpr::Eval(const EvalContext& ctx) const {
+  BYPASS_ASSIGN_OR_RETURN(Value v, input_->Eval(ctx));
+  const bool is_null = v.is_null();
+  return Value::Bool(negated_ ? !is_null : is_null);
+}
+
+ExprPtr IsNullExpr::Clone() const {
+  return std::make_shared<IsNullExpr>(input_->Clone(), negated_);
+}
+
+std::string IsNullExpr::ToString() const {
+  return "(" + input_->ToString() +
+         (negated_ ? " IS NOT NULL)" : " IS NULL)");
+}
+
+// --------------------------------------------------------------- Function
+
+Result<Value> FunctionExpr::Eval(const EvalContext& ctx) const {
+  std::vector<Value> vals;
+  vals.reserve(args_.size());
+  for (const ExprPtr& a : args_) {
+    BYPASS_ASSIGN_OR_RETURN(Value v, a->Eval(ctx));
+    vals.push_back(std::move(v));
+  }
+  switch (func_) {
+    case BuiltinFunc::kCoalesce: {
+      for (const Value& v : vals) {
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+    case BuiltinFunc::kAddIgnoreNull: {
+      bool any = false;
+      bool all_int = true;
+      double dsum = 0;
+      int64_t isum = 0;
+      for (const Value& v : vals) {
+        if (v.is_null()) continue;
+        if (!v.is_numeric()) {
+          return Status::ExecutionError("ADD_IGNORE_NULL on non-numeric");
+        }
+        any = true;
+        if (v.is_int64()) {
+          isum += v.int64_value();
+        } else {
+          all_int = false;
+        }
+        dsum += v.AsDouble();
+      }
+      if (!any) return Value::Null();
+      return all_int ? Value::Int64(isum) : Value::Double(dsum);
+    }
+    case BuiltinFunc::kLeastIgnoreNull:
+    case BuiltinFunc::kGreatestIgnoreNull: {
+      Value best;
+      for (const Value& v : vals) {
+        if (v.is_null()) continue;
+        if (best.is_null()) {
+          best = v;
+        } else {
+          const int c = v.OrderCompare(best);
+          if ((func_ == BuiltinFunc::kLeastIgnoreNull && c < 0) ||
+              (func_ == BuiltinFunc::kGreatestIgnoreNull && c > 0)) {
+            best = v;
+          }
+        }
+      }
+      return best;
+    }
+    case BuiltinFunc::kDivOrNullIfZero: {
+      if (vals.size() != 2) {
+        return Status::Internal("DIV_OR_NULL expects 2 arguments");
+      }
+      const Value& num = vals[0];
+      const Value& den = vals[1];
+      if (num.is_null() || den.is_null()) return Value::Null();
+      if (!num.is_numeric() || !den.is_numeric()) {
+        return Status::ExecutionError("DIV_OR_NULL on non-numeric");
+      }
+      const double d = den.AsDouble();
+      if (d == 0.0) return Value::Null();
+      return Value::Double(num.AsDouble() / d);
+    }
+  }
+  BYPASS_UNREACHABLE("bad BuiltinFunc");
+}
+
+ExprPtr FunctionExpr::Clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->Clone());
+  return std::make_shared<FunctionExpr>(func_, std::move(args));
+}
+
+std::string FunctionExpr::ToString() const {
+  const char* name = "?";
+  switch (func_) {
+    case BuiltinFunc::kCoalesce:
+      name = "COALESCE";
+      break;
+    case BuiltinFunc::kAddIgnoreNull:
+      name = "ADD_IGNORE_NULL";
+      break;
+    case BuiltinFunc::kLeastIgnoreNull:
+      name = "LEAST_IGNORE_NULL";
+      break;
+    case BuiltinFunc::kGreatestIgnoreNull:
+      name = "GREATEST_IGNORE_NULL";
+      break;
+    case BuiltinFunc::kDivOrNullIfZero:
+      name = "DIV_OR_NULL";
+      break;
+  }
+  std::vector<std::string> parts;
+  parts.reserve(args_.size());
+  for (const ExprPtr& a : args_) parts.push_back(a->ToString());
+  return std::string(name) + "(" + Join(parts, ", ") + ")";
+}
+
+// --------------------------------------------------------------- Subquery
+
+Result<Value> SubqueryExpr::Eval(const EvalContext& ctx) const {
+  if (subplan_ == nullptr) {
+    return Status::Internal(
+        "subquery expression evaluated before lowering: " + ToString());
+  }
+  switch (subquery_kind_) {
+    case SubqueryKind::kScalar: {
+      return subplan_->EvalScalar(ctx.row);
+    }
+    case SubqueryKind::kExists: {
+      BYPASS_ASSIGN_OR_RETURN(bool exists, subplan_->EvalExists(ctx.row));
+      return Value::Bool(negated_ ? !exists : exists);
+    }
+    case SubqueryKind::kIn: {
+      BYPASS_ASSIGN_OR_RETURN(Value probe, probe_->Eval(ctx));
+      BYPASS_ASSIGN_OR_RETURN(TriBool in,
+                              subplan_->EvalIn(probe, ctx.row));
+      if (negated_) in = TriNot(in);
+      switch (in) {
+        case TriBool::kTrue:
+          return Value::Bool(true);
+        case TriBool::kFalse:
+          return Value::Bool(false);
+        case TriBool::kUnknown:
+          return Value::Null();
+      }
+      BYPASS_UNREACHABLE("bad TriBool");
+    }
+  }
+  BYPASS_UNREACHABLE("bad SubqueryKind");
+}
+
+ExprPtr SubqueryExpr::Clone() const {
+  auto copy = std::make_shared<SubqueryExpr>(
+      subquery_kind_, plan_ ? CloneLogicalPlan(plan_) : nullptr);
+  copy->set_negated(negated_);
+  if (probe_) copy->set_probe(probe_->Clone());
+  copy->set_subplan(subplan_);  // executable subplans are shareable
+  return copy;
+}
+
+std::string SubqueryExpr::ToString() const {
+  std::string plan_str =
+      plan_ ? LogicalPlanSummary(*plan_) : std::string("<lowered>");
+  switch (subquery_kind_) {
+    case SubqueryKind::kScalar:
+      return "SCALAR(" + plan_str + ")";
+    case SubqueryKind::kExists:
+      return std::string(negated_ ? "NOT " : "") + "EXISTS(" + plan_str +
+             ")";
+    case SubqueryKind::kIn:
+      return probe_->ToString() + (negated_ ? " NOT IN (" : " IN (") +
+             plan_str + ")";
+  }
+  BYPASS_UNREACHABLE("bad SubqueryKind");
+}
+
+// -------------------------------------------------------------- Factories
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name,
+                      bool is_outer) {
+  return std::make_shared<ColumnRefExpr>(std::move(qualifier),
+                                         std::move(name), is_outer);
+}
+
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ComparisonExpr>(op, std::move(left),
+                                          std::move(right));
+}
+
+namespace {
+
+template <typename NodeT>
+ExprPtr MakeFlattenedJunction(std::vector<ExprPtr> terms, ExprKind kind) {
+  std::vector<ExprPtr> flat;
+  for (ExprPtr& t : terms) {
+    if (t->kind() == kind) {
+      for (const ExprPtr& c : t->children()) flat.push_back(c);
+    } else {
+      flat.push_back(std::move(t));
+    }
+  }
+  if (flat.size() == 1) return flat[0];
+  return std::make_shared<NodeT>(std::move(flat));
+}
+
+}  // namespace
+
+ExprPtr MakeAnd(std::vector<ExprPtr> terms) {
+  BYPASS_CHECK(!terms.empty());
+  return MakeFlattenedJunction<AndExpr>(std::move(terms), ExprKind::kAnd);
+}
+
+ExprPtr MakeOr(std::vector<ExprPtr> terms) {
+  BYPASS_CHECK(!terms.empty());
+  return MakeFlattenedJunction<OrExpr>(std::move(terms), ExprKind::kOr);
+}
+
+ExprPtr MakeNot(ExprPtr input) {
+  return std::make_shared<NotExpr>(std::move(input));
+}
+
+}  // namespace bypass

@@ -1,0 +1,73 @@
+// Canonical translation of SQL into the logical algebra (paper Sec. 3:
+// "translation into the algebra yields ... σ_{A1=count(σ_{A2=B2}(S))∨p}(R)").
+// Nested blocks become SubqueryExpr nodes inside selection predicates —
+// algebraic expressions in subscripts. Plain multi-table FROM/WHERE parts
+// are assembled into a join tree (as any reasonable system, including the
+// paper's Natix, would); only the nesting itself stays canonical.
+#ifndef BYPASSDB_FRONTEND_TRANSLATOR_H_
+#define BYPASSDB_FRONTEND_TRANSLATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/logical_op.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bypass {
+
+class Translator {
+ public:
+  explicit Translator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Translates a top-level statement into a canonical logical plan.
+  Result<LogicalOpPtr> Translate(const SelectStmt& stmt);
+
+ private:
+  /// Translates one query block. `outer_schema` is the enclosing block's
+  /// scope (nullptr at top level); references resolving only there are
+  /// marked correlated (is_outer). `for_subquery` rejects ORDER BY.
+  Result<LogicalOpPtr> TranslateBlock(const SelectStmt& stmt,
+                                      const Schema* outer_schema,
+                                      bool for_subquery);
+
+  /// Translates a (boolean or scalar) AST expression against the block's
+  /// combined FROM schema. Aggregate calls are rejected (they are only
+  /// legal in select lists, where TranslateBlock intercepts them).
+  Result<ExprPtr> TranslateExpr(const AstExpr& ast, const Schema& local,
+                                const Schema* outer);
+
+  /// Resolves a column reference: local scope first, then the enclosing
+  /// scope (correlated). The result is fully qualified.
+  Result<ExprPtr> ResolveColumn(const AstExpr& ast, const Schema& local,
+                                const Schema* outer);
+
+  Result<AggregateSpec> TranslateAggregate(const AstExpr& ast,
+                                           const Schema& local,
+                                           const Schema* outer);
+
+  /// Like TranslateExpr, but aggregate calls are folded into `*aggs` and
+  /// replaced by references to their output columns (GROUP BY select
+  /// lists and HAVING predicates).
+  Result<ExprPtr> TranslateExprWithAggs(const AstExpr& ast,
+                                        const Schema& local,
+                                        const Schema* outer,
+                                        std::vector<AggregateSpec>* aggs);
+
+  /// Translates a grouped block: GROUP BY keys, aggregate select list,
+  /// optional HAVING.
+  Result<LogicalOpPtr> TranslateGroupBy(const SelectStmt& stmt,
+                                        LogicalOpPtr input,
+                                        const Schema& local,
+                                        const Schema* outer_schema);
+
+  std::string FreshName(const char* prefix);
+
+  const Catalog* catalog_;
+  int name_counter_ = 0;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_FRONTEND_TRANSLATOR_H_

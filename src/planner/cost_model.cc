@@ -1,0 +1,236 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "expr/expr_util.h"
+#include "algebra/plan_util.h"
+#include "rewrite/rank.h"
+
+namespace bypass {
+
+namespace {
+
+constexpr double kDefaultTableRows = 1000;
+constexpr double kGroupCompression = 0.1;  // ndv(keys) / rows heuristic
+
+class Estimator : public StatsProvider {
+ public:
+  explicit Estimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// StatsProvider over the base tables seen so far (children are
+  /// estimated before their parents' predicates, so a selection's scans
+  /// are registered by the time its selectivity is computed).
+  const ColumnStats* GetColumnStats(const std::string& qualifier,
+                                    const std::string& name,
+                                    int64_t* rows) const override {
+    const auto it = alias_tables_.find(qualifier);
+    if (it == alias_tables_.end()) return nullptr;
+    const Table* table = it->second;
+    auto slot = table->schema().FindColumn("", name);
+    if (!slot.ok()) return nullptr;
+    *rows = table->num_rows();
+    return &table->stats()[static_cast<size_t>(*slot)];
+  }
+
+  PlanEstimate Node(const LogicalOp& node) {
+    const auto it = memo_.find(&node);
+    if (it != memo_.end()) return it->second;
+    PlanEstimate est = Compute(node);
+    est.rows = std::max(est.rows, 1.0);
+    memo_.emplace(&node, est);
+    return est;
+  }
+
+  PlanEstimate Input(const LogicalInput& input) {
+    PlanEstimate est = Node(*input.op);
+    if (input.port == StreamPort::kNegative) {
+      // The producer's estimate describes its positive stream; the
+      // negative stream carries the complement cardinality — relative to
+      // the input for σ±, relative to the cross product for ⋈±. The
+      // producer's cost is attributed to the positive-stream edge only,
+      // so consumers of both streams do not double-count it.
+      double in_rows = Node(*input.op->inputs()[0].op).rows;
+      if (input.op->kind() == LogicalOpKind::kBypassJoin) {
+        in_rows *= Node(*input.op->inputs()[1].op).rows;
+      }
+      est.rows = std::max(in_rows - est.rows, 1.0);
+      est.cost = 0;
+    }
+    return est;
+  }
+
+ private:
+  /// Per-row evaluation cost of a predicate, charging nested blocks their
+  /// full estimated plan cost (correlated: per row; uncorrelated blocks
+  /// are added to `*upfront` once instead).
+  double PredicateRowCost(const ExprPtr& pred, double* upfront) {
+    double row_cost = EstimateCost(*pred, /*subquery_cost=*/0);
+    VisitExpr(pred, [&](const ExprPtr& e) {
+      if (e->kind() != ExprKind::kSubquery) return;
+      const auto* sq = static_cast<const SubqueryExpr*>(e.get());
+      if (sq->plan() == nullptr) return;
+      const PlanEstimate block = Node(*sq->plan());
+      if (PlanIsCorrelated(*sq->plan())) {
+        row_cost += block.cost;
+      } else {
+        *upfront += block.cost;
+      }
+    });
+    return row_cost;
+  }
+
+  PlanEstimate Compute(const LogicalOp& node) {
+    switch (node.kind()) {
+      case LogicalOpKind::kGet: {
+        const auto& get = static_cast<const GetOp&>(node);
+        double rows = kDefaultTableRows;
+        if (catalog_ != nullptr) {
+          auto table = catalog_->GetTable(get.table_name());
+          if (table.ok()) {
+            rows = static_cast<double>((*table)->num_rows());
+            alias_tables_.emplace(get.alias(), *table);
+          }
+        }
+        return {rows, rows};
+      }
+      case LogicalOpKind::kSelect: {
+        const auto& sel = static_cast<const SelectOp&>(node);
+        const PlanEstimate in = Input(node.inputs()[0]);
+        double upfront = 0;
+        const double row_cost = PredicateRowCost(sel.predicate(),
+                                                 &upfront);
+        return {in.rows * EstimateSelectivity(*sel.predicate(), this),
+                in.cost + upfront + in.rows * (1.0 + row_cost)};
+      }
+      case LogicalOpKind::kBypassSelect: {
+        const auto& sel = static_cast<const BypassSelectOp&>(node);
+        const PlanEstimate in = Input(node.inputs()[0]);
+        double upfront = 0;
+        const double row_cost = PredicateRowCost(sel.predicate(),
+                                                 &upfront);
+        return {in.rows * EstimateSelectivity(*sel.predicate(), this),
+                in.cost + upfront + in.rows * (1.0 + row_cost)};
+      }
+      case LogicalOpKind::kProject:
+      case LogicalOpKind::kMap:
+      case LogicalOpKind::kNumbering: {
+        const PlanEstimate in = Input(node.inputs()[0]);
+        return {in.rows, in.cost + in.rows};
+      }
+      case LogicalOpKind::kDistinct: {
+        const PlanEstimate in = Input(node.inputs()[0]);
+        return {in.rows * 0.9, in.cost + in.rows};
+      }
+      case LogicalOpKind::kSort: {
+        const PlanEstimate in = Input(node.inputs()[0]);
+        return {in.rows, in.cost + 2.0 * in.rows};
+      }
+      case LogicalOpKind::kJoin: {
+        const auto& join = static_cast<const JoinOp&>(node);
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        if (join.predicate() == nullptr) {
+          return {l.rows * r.rows, l.cost + r.cost + l.rows * r.rows};
+        }
+        const double sel = EstimateSelectivity(*join.predicate(), this);
+        const bool hashable = HasEquiConjunct(*join.predicate());
+        const double work =
+            hashable ? l.rows + r.rows : l.rows * r.rows;
+        return {l.rows * r.rows * sel, l.cost + r.cost + work};
+      }
+      case LogicalOpKind::kBypassJoin: {
+        const auto& join = static_cast<const BypassJoinOp&>(node);
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        const double sel = EstimateSelectivity(*join.predicate(), this);
+        // Both streams are produced by one nested-loop pass.
+        return {l.rows * r.rows * sel,
+                l.cost + r.cost + l.rows * r.rows};
+      }
+      case LogicalOpKind::kLeftOuterJoin: {
+        const auto& join = static_cast<const LeftOuterJoinOp&>(node);
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        const bool hashable = HasEquiConjunct(*join.predicate());
+        const double work =
+            hashable ? l.rows + r.rows : l.rows * r.rows;
+        // Grouped build sides have unique keys → cardinality of the left.
+        return {l.rows, l.cost + r.cost + work};
+      }
+      case LogicalOpKind::kSemiJoin:
+      case LogicalOpKind::kAntiJoin: {
+        const ExprPtr& pred =
+            node.kind() == LogicalOpKind::kSemiJoin
+                ? static_cast<const SemiJoinOp&>(node).predicate()
+                : static_cast<const AntiJoinOp&>(node).predicate();
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        const bool hashable = HasEquiConjunct(*pred);
+        const double work =
+            hashable ? l.rows + r.rows : l.rows * r.rows;
+        return {l.rows * 0.5, l.cost + r.cost + work};
+      }
+      case LogicalOpKind::kGroupBy: {
+        const auto& gb = static_cast<const GroupByOp&>(node);
+        const PlanEstimate in = Input(node.inputs()[0]);
+        const double rows =
+            gb.scalar() ? 1.0
+                        : std::max(1.0, in.rows * kGroupCompression);
+        return {rows, in.cost + in.rows};
+      }
+      case LogicalOpKind::kBinaryGroupBy: {
+        const auto& gb = static_cast<const BinaryGroupByOp&>(node);
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        const double work = gb.compare_op() == CompareOp::kEq
+                                ? l.rows + r.rows
+                                : l.rows * r.rows;
+        return {l.rows, l.cost + r.cost + work};
+      }
+      case LogicalOpKind::kLimit: {
+        const auto& limit = static_cast<const LimitOp&>(node);
+        const PlanEstimate in = Input(node.inputs()[0]);
+        return {std::min<double>(in.rows,
+                                 static_cast<double>(limit.count())),
+                in.cost};
+      }
+      case LogicalOpKind::kUnion: {
+        const PlanEstimate l = Input(node.inputs()[0]);
+        const PlanEstimate r = Input(node.inputs()[1]);
+        return {l.rows + r.rows, l.cost + r.cost};
+      }
+    }
+    return {1, 1};
+  }
+
+  static bool HasEquiConjunct(const Expr& pred) {
+    for (const ExprPtr& c : SplitConjuncts(pred.Clone())) {
+      if (c->kind() == ExprKind::kComparison &&
+          static_cast<const ComparisonExpr*>(c.get())->op() ==
+              CompareOp::kEq) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Catalog* catalog_;
+  std::unordered_map<const LogicalOp*, PlanEstimate> memo_;
+  mutable std::unordered_map<std::string, const Table*> alias_tables_;
+};
+
+}  // namespace
+
+PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog) {
+  Estimator estimator(catalog);
+  return estimator.Node(root);
+}
+
+PlanEstimate EstimateInput(const LogicalInput& input,
+                           const Catalog* catalog) {
+  Estimator estimator(catalog);
+  return estimator.Input(input);
+}
+
+}  // namespace bypass

@@ -1,0 +1,35 @@
+// A textbook cardinality/cost model over logical plans. Its purpose here
+// is the paper's point that unnesting equivalences should be applied
+// cost-based during plan generation (Sec. 1): Eqv. 5's bypass join
+// enumerates |R|·|S| pairs, so for some queries the canonical
+// nested-loop plan is actually cheaper — the model detects exactly that.
+//
+// Units are abstract "row touches"; only relative comparisons matter.
+#ifndef BYPASSDB_PLANNER_COST_MODEL_H_
+#define BYPASSDB_PLANNER_COST_MODEL_H_
+
+#include "algebra/logical_op.h"
+#include "catalog/catalog.h"
+
+namespace bypass {
+
+struct PlanEstimate {
+  double rows = 0;  ///< estimated output cardinality (positive stream)
+  double cost = 0;  ///< estimated total work to produce it
+};
+
+/// Estimates a plan bottom-up. `catalog` supplies base-table
+/// cardinalities (nullptr: 1000 rows per table). Nested subquery blocks
+/// inside selection predicates are charged once per input row when
+/// correlated — the canonical nested-loop cost — and once in total when
+/// uncorrelated.
+PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog);
+
+/// Estimate for one input edge (negative bypass streams carry the
+/// complement cardinality).
+PlanEstimate EstimateInput(const LogicalInput& input,
+                           const Catalog* catalog);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_PLANNER_COST_MODEL_H_

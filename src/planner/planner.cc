@@ -1,0 +1,433 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+
+#include "algebra/plan_util.h"
+#include "common/check.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "exec/outer_join.h"
+#include "exec/project.h"
+#include "exec/semi_join.h"
+#include "exec/sort.h"
+#include "exec/union_op.h"
+#include "expr/expr_util.h"
+
+namespace bypass {
+
+namespace {
+
+/// Equi-join decomposition: conjuncts of the form left_col = right_col
+/// become hash keys; everything else is a residual predicate evaluated on
+/// the concatenated row.
+struct EquiSplit {
+  std::vector<int> left_slots;
+  std::vector<int> right_slots;
+  std::vector<ExprPtr> residual_conjuncts;  // unbound
+};
+
+EquiSplit SplitEquiPred(const ExprPtr& pred, const Schema& left,
+                        const Schema& right) {
+  EquiSplit split;
+  for (const ExprPtr& c : SplitConjuncts(pred)) {
+    bool handled = false;
+    if (c->kind() == ExprKind::kComparison) {
+      const auto* cmp = static_cast<const ComparisonExpr*>(c.get());
+      if (cmp->op() == CompareOp::kEq &&
+          cmp->left()->kind() == ExprKind::kColumnRef &&
+          cmp->right()->kind() == ExprKind::kColumnRef) {
+        const auto* a =
+            static_cast<const ColumnRefExpr*>(cmp->left().get());
+        const auto* b =
+            static_cast<const ColumnRefExpr*>(cmp->right().get());
+        if (!a->is_outer() && !b->is_outer()) {
+          auto la = left.FindColumn(a->qualifier(), a->name());
+          auto rb = right.FindColumn(b->qualifier(), b->name());
+          if (la.ok() && rb.ok()) {
+            split.left_slots.push_back(*la);
+            split.right_slots.push_back(*rb);
+            handled = true;
+          } else {
+            auto lb = left.FindColumn(b->qualifier(), b->name());
+            auto ra = right.FindColumn(a->qualifier(), a->name());
+            if (lb.ok() && ra.ok()) {
+              split.left_slots.push_back(*lb);
+              split.right_slots.push_back(*ra);
+              handled = true;
+            }
+          }
+        }
+      }
+    }
+    if (!handled) split.residual_conjuncts.push_back(c);
+  }
+  return split;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> Planner::Lower(const LogicalOpPtr& root) {
+  return LowerPlan(root, /*outer_schema=*/nullptr);
+}
+
+Result<PhysicalPlan> Planner::LowerPlan(const LogicalOpPtr& root,
+                                        const Schema* outer_schema) {
+  PhysicalPlan plan;
+  LoweringCtx ctx{&plan, outer_schema};
+  std::unordered_map<const LogicalOp*, PhysOp*> memo;
+  BYPASS_ASSIGN_OR_RETURN(PhysOp * top, LowerNode(root, &ctx, &memo));
+  auto sink = std::make_unique<CollectorSink>();
+  plan.sink = sink.get();
+  top->AddConsumer(kPortOut, sink.get(), 0);
+  plan.ops.push_back(std::move(sink));
+  plan.output_schema = root->schema();
+  return plan;
+}
+
+Status Planner::BindExprInPlace(Expr* expr, const Schema& input,
+                                LoweringCtx* ctx) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      auto* ref = static_cast<ColumnRefExpr*>(expr);
+      if (ref->is_outer()) {
+        if (ctx->outer_schema == nullptr) {
+          return Status::BindError(
+              "correlated reference without an enclosing block: " +
+              ref->ToString());
+        }
+        BYPASS_ASSIGN_OR_RETURN(
+            int slot,
+            ctx->outer_schema->FindColumn(ref->qualifier(), ref->name()));
+        ref->set_slot(slot);
+      } else {
+        BYPASS_ASSIGN_OR_RETURN(
+            int slot, input.FindColumn(ref->qualifier(), ref->name()));
+        ref->set_slot(slot);
+      }
+      return Status::OK();
+    }
+    case ExprKind::kSubquery: {
+      auto* sq = static_cast<SubqueryExpr*>(expr);
+      if (sq->probe() != nullptr) {
+        BYPASS_RETURN_IF_ERROR(
+            BindExprInPlace(sq->probe().get(), input, ctx));
+      }
+      if (sq->plan() == nullptr) {
+        return Status::Internal("subquery without a logical plan");
+      }
+      // The block's free attributes index into *this* operator's input
+      // row — that row becomes the subplan's outer row at runtime.
+      std::vector<int> free_slots;
+      for (const ColumnRefExpr* ref : CollectPlanOuterRefs(*sq->plan())) {
+        BYPASS_ASSIGN_OR_RETURN(
+            int slot, input.FindColumn(ref->qualifier(), ref->name()));
+        free_slots.push_back(slot);
+      }
+      std::sort(free_slots.begin(), free_slots.end());
+      free_slots.erase(
+          std::unique(free_slots.begin(), free_slots.end()),
+          free_slots.end());
+      BYPASS_ASSIGN_OR_RETURN(PhysicalPlan inner_plan,
+                              LowerPlan(sq->plan(), &input));
+      auto subplan = std::make_shared<ExecSubplan>(
+          std::move(inner_plan), std::move(free_slots),
+          options_.memoize_subqueries);
+      ctx->plan->subplans.push_back(subplan.get());
+      sq->set_subplan(std::move(subplan));
+      return Status::OK();
+    }
+    default: {
+      for (const ExprPtr& c : expr->children()) {
+        BYPASS_RETURN_IF_ERROR(BindExprInPlace(c.get(), input, ctx));
+      }
+      return Status::OK();
+    }
+  }
+}
+
+Result<ExprPtr> Planner::BindExpr(const ExprPtr& expr, const Schema& input,
+                                  LoweringCtx* ctx) {
+  ExprPtr bound = expr->Clone();
+  BYPASS_RETURN_IF_ERROR(BindExprInPlace(bound.get(), input, ctx));
+  return bound;
+}
+
+Result<PhysOp*> Planner::LowerNode(
+    const LogicalOpPtr& node, LoweringCtx* ctx,
+    std::unordered_map<const LogicalOp*, PhysOp*>* memo) {
+  const auto it = memo->find(node.get());
+  if (it != memo->end()) return it->second;
+
+  // Lower children right-to-left so build sides run before probe sides.
+  const auto& inputs = node->inputs();
+  std::vector<PhysOp*> children(inputs.size(), nullptr);
+  for (size_t i = inputs.size(); i-- > 0;) {
+    BYPASS_ASSIGN_OR_RETURN(children[i],
+                            LowerNode(inputs[i].op, ctx, memo));
+  }
+  auto wire = [&](PhysOp* op, int in_port, size_t child_index) {
+    children[child_index]->AddConsumer(
+        static_cast<int>(inputs[child_index].port), op, in_port);
+  };
+
+  PhysOp* result = nullptr;
+  switch (node->kind()) {
+    case LogicalOpKind::kGet: {
+      const auto& get = static_cast<const GetOp&>(*node);
+      BYPASS_ASSIGN_OR_RETURN(Table * table,
+                              catalog_->GetTable(get.table_name()));
+      if (table->schema().num_columns() != get.schema().num_columns()) {
+        return Status::Internal("table schema changed under the plan: " +
+                                get.table_name());
+      }
+      auto scan = std::make_unique<TableScanOp>(table);
+      TableScanOp* raw = scan.get();
+      ctx->plan->ops.push_back(std::move(scan));
+      ctx->plan->sources.push_back(raw);
+      result = raw;
+      break;
+    }
+    case LogicalOpKind::kSelect: {
+      const auto& sel = static_cast<const SelectOp&>(*node);
+      BYPASS_ASSIGN_OR_RETURN(
+          ExprPtr pred,
+          BindExpr(sel.predicate(), inputs[0].op->schema(), ctx));
+      result = Register(ctx,
+                        std::make_unique<FilterOp>(std::move(pred)));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kBypassSelect: {
+      const auto& sel = static_cast<const BypassSelectOp&>(*node);
+      BYPASS_ASSIGN_OR_RETURN(
+          ExprPtr pred,
+          BindExpr(sel.predicate(), inputs[0].op->schema(), ctx));
+      result = Register(
+          ctx, std::make_unique<BypassFilterOp>(std::move(pred)));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      const auto& proj = static_cast<const ProjectOp&>(*node);
+      std::vector<ExprPtr> exprs;
+      for (const NamedExpr& item : proj.items()) {
+        BYPASS_ASSIGN_OR_RETURN(
+            ExprPtr e, BindExpr(item.expr, inputs[0].op->schema(), ctx));
+        exprs.push_back(std::move(e));
+      }
+      result = Register(
+          ctx, std::make_unique<ProjectPhysOp>(std::move(exprs)));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kMap: {
+      const auto& map = static_cast<const MapOp&>(*node);
+      std::vector<ExprPtr> exprs;
+      for (const NamedExpr& item : map.items()) {
+        BYPASS_ASSIGN_OR_RETURN(
+            ExprPtr e, BindExpr(item.expr, inputs[0].op->schema(), ctx));
+        exprs.push_back(std::move(e));
+      }
+      result =
+          Register(ctx, std::make_unique<MapPhysOp>(std::move(exprs)));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kDistinct: {
+      result = Register(ctx, std::make_unique<DistinctPhysOp>());
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kNumbering: {
+      result = Register(ctx, std::make_unique<NumberingPhysOp>());
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kSort: {
+      const auto& sort = static_cast<const SortOp&>(*node);
+      std::vector<PhysSortKey> keys;
+      for (const SortKey& k : sort.keys()) {
+        BYPASS_ASSIGN_OR_RETURN(
+            ExprPtr e, BindExpr(k.expr, inputs[0].op->schema(), ctx));
+        keys.push_back(PhysSortKey{std::move(e), k.descending});
+      }
+      result =
+          Register(ctx, std::make_unique<SortPhysOp>(std::move(keys)));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      const auto& join = static_cast<const JoinOp&>(*node);
+      const Schema& left = inputs[0].op->schema();
+      const Schema& right = inputs[1].op->schema();
+      const Schema concat = Schema::Concat(left, right);
+      if (join.predicate() == nullptr) {
+        result = Register(ctx, std::make_unique<NLJoinOp>(nullptr));
+      } else {
+        EquiSplit split = SplitEquiPred(join.predicate(), left, right);
+        if (!split.left_slots.empty()) {
+          ExprPtr residual;
+          if (!split.residual_conjuncts.empty()) {
+            BYPASS_ASSIGN_OR_RETURN(
+                residual,
+                BindExpr(MakeAnd(split.residual_conjuncts), concat, ctx));
+          }
+          result = Register(ctx, std::make_unique<HashJoinOp>(
+                                     std::move(split.left_slots),
+                                     std::move(split.right_slots),
+                                     std::move(residual)));
+        } else {
+          BYPASS_ASSIGN_OR_RETURN(
+              ExprPtr pred, BindExpr(join.predicate(), concat, ctx));
+          result = Register(ctx,
+                            std::make_unique<NLJoinOp>(std::move(pred)));
+        }
+      }
+      wire(result, BinaryPhysOp::kLeft, 0);
+      wire(result, BinaryPhysOp::kRight, 1);
+      break;
+    }
+    case LogicalOpKind::kBypassJoin: {
+      const auto& join = static_cast<const BypassJoinOp&>(*node);
+      const Schema concat = Schema::Concat(inputs[0].op->schema(),
+                                           inputs[1].op->schema());
+      BYPASS_ASSIGN_OR_RETURN(ExprPtr pred,
+                              BindExpr(join.predicate(), concat, ctx));
+      result = Register(ctx,
+                        std::make_unique<BypassNLJoinOp>(std::move(pred)));
+      wire(result, BinaryPhysOp::kLeft, 0);
+      wire(result, BinaryPhysOp::kRight, 1);
+      break;
+    }
+    case LogicalOpKind::kLeftOuterJoin: {
+      const auto& join = static_cast<const LeftOuterJoinOp&>(*node);
+      const Schema& left = inputs[0].op->schema();
+      const Schema& right = inputs[1].op->schema();
+      const Schema concat = Schema::Concat(left, right);
+      Row unmatched(static_cast<size_t>(right.num_columns()),
+                    Value::Null());
+      for (const auto& [name, value] : join.unmatched_defaults()) {
+        BYPASS_ASSIGN_OR_RETURN(int slot, right.FindColumn("", name));
+        unmatched[static_cast<size_t>(slot)] = value;
+      }
+      EquiSplit split = SplitEquiPred(join.predicate(), left, right);
+      if (!split.left_slots.empty() &&
+          split.residual_conjuncts.empty()) {
+        result = Register(ctx, std::make_unique<HashLeftOuterJoinOp>(
+                                   std::move(split.left_slots),
+                                   std::move(split.right_slots),
+                                   std::move(unmatched)));
+      } else {
+        BYPASS_ASSIGN_OR_RETURN(
+            ExprPtr pred, BindExpr(join.predicate(), concat, ctx));
+        result = Register(ctx, std::make_unique<NLLeftOuterJoinOp>(
+                                   std::move(pred), std::move(unmatched)));
+      }
+      wire(result, BinaryPhysOp::kLeft, 0);
+      wire(result, BinaryPhysOp::kRight, 1);
+      break;
+    }
+    case LogicalOpKind::kSemiJoin:
+    case LogicalOpKind::kAntiJoin: {
+      const bool anti = node->kind() == LogicalOpKind::kAntiJoin;
+      const ExprPtr& raw_pred =
+          anti ? static_cast<const AntiJoinOp&>(*node).predicate()
+               : static_cast<const SemiJoinOp&>(*node).predicate();
+      const Schema& left = inputs[0].op->schema();
+      const Schema& right = inputs[1].op->schema();
+      EquiSplit split = SplitEquiPred(raw_pred, left, right);
+      if (!split.left_slots.empty() &&
+          split.residual_conjuncts.empty()) {
+        result = Register(ctx, std::make_unique<HashExistenceJoinOp>(
+                                   anti, std::move(split.left_slots),
+                                   std::move(split.right_slots)));
+      } else {
+        const Schema concat = Schema::Concat(left, right);
+        BYPASS_ASSIGN_OR_RETURN(ExprPtr pred,
+                                BindExpr(raw_pred, concat, ctx));
+        result = Register(ctx, std::make_unique<NLExistenceJoinOp>(
+                                   anti, std::move(pred)));
+      }
+      wire(result, BinaryPhysOp::kLeft, 0);
+      wire(result, BinaryPhysOp::kRight, 1);
+      break;
+    }
+    case LogicalOpKind::kGroupBy: {
+      const auto& gb = static_cast<const GroupByOp&>(*node);
+      const Schema& input = inputs[0].op->schema();
+      std::vector<int> key_slots;
+      for (const GroupKey& k : gb.keys()) {
+        BYPASS_ASSIGN_OR_RETURN(int slot,
+                                input.FindColumn(k.qualifier, k.name));
+        key_slots.push_back(slot);
+      }
+      std::vector<AggregateSpec> aggs;
+      for (const AggregateSpec& a : gb.aggregates()) {
+        AggregateSpec bound = a.Clone();
+        if (bound.arg != nullptr) {
+          BYPASS_ASSIGN_OR_RETURN(bound.arg,
+                                  BindExpr(bound.arg, input, ctx));
+        }
+        aggs.push_back(std::move(bound));
+      }
+      result = Register(ctx, std::make_unique<HashGroupByOp>(
+                                 std::move(key_slots), std::move(aggs),
+                                 gb.scalar()));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kBinaryGroupBy: {
+      const auto& gb = static_cast<const BinaryGroupByOp&>(*node);
+      const Schema& left = inputs[0].op->schema();
+      const Schema& right = inputs[1].op->schema();
+      BYPASS_ASSIGN_OR_RETURN(
+          int left_slot,
+          left.FindColumn(gb.left_key().qualifier, gb.left_key().name));
+      BYPASS_ASSIGN_OR_RETURN(
+          int right_slot,
+          right.FindColumn(gb.right_key().qualifier,
+                           gb.right_key().name));
+      std::vector<AggregateSpec> aggs;
+      for (const AggregateSpec& a : gb.aggregates()) {
+        AggregateSpec bound = a.Clone();
+        if (bound.arg != nullptr) {
+          BYPASS_ASSIGN_OR_RETURN(bound.arg,
+                                  BindExpr(bound.arg, right, ctx));
+        }
+        aggs.push_back(std::move(bound));
+      }
+      if (gb.compare_op() == CompareOp::kEq) {
+        result = Register(ctx, std::make_unique<BinaryGroupByHashOp>(
+                                   left_slot, right_slot,
+                                   std::move(aggs)));
+      } else {
+        result = Register(ctx, std::make_unique<BinaryGroupByNLOp>(
+                                   left_slot, gb.compare_op(), right_slot,
+                                   std::move(aggs)));
+      }
+      wire(result, BinaryPhysOp::kLeft, 0);
+      wire(result, BinaryPhysOp::kRight, 1);
+      break;
+    }
+    case LogicalOpKind::kLimit: {
+      const auto& limit = static_cast<const LimitOp&>(*node);
+      result = Register(ctx,
+                        std::make_unique<LimitPhysOp>(limit.count()));
+      wire(result, 0, 0);
+      break;
+    }
+    case LogicalOpKind::kUnion: {
+      result = Register(ctx, std::make_unique<UnionAllOp>());
+      wire(result, 0, 0);
+      wire(result, 1, 1);
+      break;
+    }
+  }
+  BYPASS_CHECK(result != nullptr);
+  memo->emplace(node.get(), result);
+  return result;
+}
+
+}  // namespace bypass

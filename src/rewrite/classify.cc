@@ -1,0 +1,110 @@
+#include "rewrite/classify.h"
+
+#include "algebra/plan_util.h"
+#include "expr/expr_util.h"
+
+namespace bypass {
+
+const char* KimTypeToString(KimType type) {
+  switch (type) {
+    case KimType::kA:
+      return "A";
+    case KimType::kN:
+      return "N";
+    case KimType::kJ:
+      return "J";
+    case KimType::kJA:
+      return "JA";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when the block computes a top-level scalar aggregate.
+bool BlockHasAggregate(const LogicalOp& root) {
+  const LogicalOp* node = &root;
+  // Peel shaping operators above the aggregation.
+  while (true) {
+    switch (node->kind()) {
+      case LogicalOpKind::kProject:
+      case LogicalOpKind::kDistinct:
+      case LogicalOpKind::kSort:
+        node = node->inputs()[0].op.get();
+        continue;
+      default:
+        break;
+    }
+    break;
+  }
+  return node->kind() == LogicalOpKind::kGroupBy &&
+         static_cast<const GroupByOp*>(node)->scalar();
+}
+
+/// Direct child blocks of a plan (subquery expressions one level down).
+void CollectDirectBlocks(const LogicalOp& root,
+                         std::vector<const SubqueryExpr*>* out) {
+  for (const LogicalOp* node : TopologicalNodes(root)) {
+    for (const ExprPtr& e : NodeExpressions(*node)) {
+      VisitExpr(e, [&](const ExprPtr& child) {
+        if (child->kind() == ExprKind::kSubquery) {
+          out->push_back(static_cast<const SubqueryExpr*>(child.get()));
+        }
+      });
+    }
+  }
+}
+
+struct NestingCounts {
+  int total_blocks = 0;
+  int max_direct_children = 0;
+};
+
+void CountNesting(const LogicalOp& root, NestingCounts* counts) {
+  std::vector<const SubqueryExpr*> blocks;
+  CollectDirectBlocks(root, &blocks);
+  counts->total_blocks += static_cast<int>(blocks.size());
+  if (static_cast<int>(blocks.size()) > counts->max_direct_children) {
+    counts->max_direct_children = static_cast<int>(blocks.size());
+  }
+  for (const SubqueryExpr* b : blocks) {
+    if (b->plan()) CountNesting(*b->plan(), counts);
+  }
+}
+
+}  // namespace
+
+KimType ClassifySubquery(const SubqueryExpr& subquery) {
+  const bool correlated =
+      subquery.plan() != nullptr && PlanIsCorrelated(*subquery.plan());
+  const bool aggregate = subquery.subquery_kind() == SubqueryKind::kScalar &&
+                         subquery.plan() != nullptr &&
+                         BlockHasAggregate(*subquery.plan());
+  if (aggregate) return correlated ? KimType::kJA : KimType::kA;
+  return correlated ? KimType::kJ : KimType::kN;
+}
+
+const char* NestingStructureToString(NestingStructure s) {
+  switch (s) {
+    case NestingStructure::kFlat:
+      return "flat";
+    case NestingStructure::kSimple:
+      return "simple";
+    case NestingStructure::kLinear:
+      return "linear";
+    case NestingStructure::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+NestingStructure ClassifyNesting(const LogicalOp& root) {
+  NestingCounts counts;
+  CountNesting(root, &counts);
+  if (counts.total_blocks == 0) return NestingStructure::kFlat;
+  if (counts.max_direct_children >= 2) return NestingStructure::kTree;
+  if (counts.total_blocks == 1) return NestingStructure::kSimple;
+  return NestingStructure::kLinear;
+}
+
+}  // namespace bypass

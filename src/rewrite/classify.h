@@ -1,0 +1,41 @@
+// Query classification: Kim's subquery types (A/N/J/JA, [19]) and
+// Muralikrishna's nesting-structure classes extended by the paper
+// (simple/linear/tree, Sec. 2.2).
+#ifndef BYPASSDB_REWRITE_CLASSIFY_H_
+#define BYPASSDB_REWRITE_CLASSIFY_H_
+
+#include <string>
+
+#include "algebra/logical_op.h"
+
+namespace bypass {
+
+enum class KimType {
+  kA,   ///< aggregate, uncorrelated
+  kN,   ///< no aggregate, uncorrelated (table subquery)
+  kJ,   ///< no aggregate, correlated
+  kJA,  ///< aggregate, correlated — the paper's hard case
+};
+
+const char* KimTypeToString(KimType type);
+
+/// Classifies one nested block by its translated plan: "aggregate" means
+/// the block's top is a scalar aggregation; "correlated" means the plan
+/// references the enclosing block.
+KimType ClassifySubquery(const SubqueryExpr& subquery);
+
+enum class NestingStructure {
+  kFlat,    ///< no nested blocks
+  kSimple,  ///< exactly one nested block
+  kLinear,  ///< at most one block nested within any block, depth >= 2
+  kTree,    ///< some block has two or more blocks directly nested in it
+};
+
+const char* NestingStructureToString(NestingStructure s);
+
+/// Classifies the whole query's nesting shape.
+NestingStructure ClassifyNesting(const LogicalOp& root);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_REWRITE_CLASSIFY_H_

@@ -1,0 +1,161 @@
+#include "rewrite/rank.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace bypass {
+
+namespace {
+
+/// Statistics-backed estimate for `col θ literal`; nullopt when the shape
+/// or the available statistics do not support one.
+std::optional<double> StatsComparisonSelectivity(
+    const ComparisonExpr& cmp, const StatsProvider& stats) {
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  CompareOp op = cmp.op();
+  if (cmp.left()->kind() == ExprKind::kColumnRef &&
+      cmp.right()->kind() == ExprKind::kLiteral) {
+    col = cmp.left().get();
+    lit = cmp.right().get();
+  } else if (cmp.right()->kind() == ExprKind::kColumnRef &&
+             cmp.left()->kind() == ExprKind::kLiteral) {
+    col = cmp.right().get();
+    lit = cmp.left().get();
+    op = FlipCompareOp(op);
+  } else {
+    return std::nullopt;
+  }
+  const auto* ref = static_cast<const ColumnRefExpr*>(col);
+  if (ref->is_outer()) return std::nullopt;
+  int64_t rows = 0;
+  const ColumnStats* column =
+      stats.GetColumnStats(ref->qualifier(), ref->name(), &rows);
+  if (column == nullptr || rows <= 0) return std::nullopt;
+  const Value& value = static_cast<const LiteralExpr*>(lit)->value();
+  if (value.is_null()) return 0.0;  // comparison with NULL never holds
+
+  const double non_null_fraction =
+      1.0 - static_cast<double>(column->null_count) /
+                static_cast<double>(rows);
+  if (op == CompareOp::kEq || op == CompareOp::kNe) {
+    if (column->distinct_count <= 0) return std::nullopt;
+    const double eq = non_null_fraction /
+                      static_cast<double>(column->distinct_count);
+    return op == CompareOp::kEq ? eq
+                                : std::max(0.0, non_null_fraction - eq);
+  }
+  // Range operators: interpolate on numeric min/max.
+  if (column->min.is_null() || !column->min.is_numeric() ||
+      !value.is_numeric()) {
+    return std::nullopt;
+  }
+  const double lo = column->min.AsDouble();
+  const double hi = column->max.AsDouble();
+  if (hi <= lo) return std::nullopt;
+  const double v = value.AsDouble();
+  const double below = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return below * non_null_fraction;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return (1.0 - below) * non_null_fraction;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& pred, const StatsProvider* stats) {
+  switch (pred.kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(pred);
+      if (stats != nullptr) {
+        if (auto estimate = StatsComparisonSelectivity(cmp, *stats)) {
+          return *estimate;
+        }
+      }
+      switch (cmp.op()) {
+        case CompareOp::kEq:
+          return 0.1;
+        case CompareOp::kNe:
+          return 0.9;
+        default:
+          return 1.0 / 3.0;
+      }
+    }
+    case ExprKind::kAnd: {
+      double s = 1.0;
+      for (const ExprPtr& t :
+           static_cast<const AndExpr&>(pred).terms()) {
+        s *= EstimateSelectivity(*t, stats);
+      }
+      return s;
+    }
+    case ExprKind::kOr: {
+      double pass_none = 1.0;
+      for (const ExprPtr& t : static_cast<const OrExpr&>(pred).terms()) {
+        pass_none *= 1.0 - EstimateSelectivity(*t, stats);
+      }
+      return 1.0 - pass_none;
+    }
+    case ExprKind::kNot:
+      return 1.0 - EstimateSelectivity(
+                       *static_cast<const NotExpr&>(pred).input(), stats);
+    case ExprKind::kLike:
+      return 0.25;
+    case ExprKind::kIsNull:
+      return 0.1;
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(pred);
+      if (lit.value().is_bool()) {
+        return lit.value().bool_value() ? 1.0 : 0.0;
+      }
+      return 0.5;
+    }
+    case ExprKind::kSubquery: {
+      const auto& sq = static_cast<const SubqueryExpr&>(pred);
+      if (sq.subquery_kind() == SubqueryKind::kExists) return 0.5;
+      return 0.25;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+double EstimateCost(const Expr& pred, double subquery_cost) {
+  double children_cost = 0;
+  for (const ExprPtr& c : pred.children()) {
+    children_cost += EstimateCost(*c, subquery_cost);
+  }
+  switch (pred.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return 0.2;
+    case ExprKind::kComparison:
+    case ExprKind::kIsNull:
+      return children_cost + 1.0;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      return children_cost + 0.1;
+    case ExprKind::kArithmetic:
+    case ExprKind::kFunction:
+      return children_cost + 2.0;
+    case ExprKind::kLike:
+      return children_cost + 10.0;
+    case ExprKind::kSubquery:
+      return children_cost + subquery_cost;
+  }
+  return children_cost + 1.0;
+}
+
+double PredicateRank(const Expr& pred, double subquery_cost) {
+  const double cost = EstimateCost(pred, subquery_cost);
+  return (EstimateSelectivity(pred) - 1.0) / (cost > 0 ? cost : 1e-9);
+}
+
+}  // namespace bypass

@@ -1,0 +1,243 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace bypass {
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "<end>";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "integer";
+    case TokenType::kDoubleLiteral:
+      return "double";
+    case TokenType::kStringLiteral:
+      return "string";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kSemicolon:
+      return ";";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenType type, size_t pos, std::string text = "") {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = static_cast<int>(pos);
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      push(TokenType::kIdentifier, start, sql.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        ++i;
+      }
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+      }
+      const std::string text = sql.substr(start, i - start);
+      Token t;
+      t.position = static_cast<int>(start);
+      t.text = text;
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntLiteral;
+        errno = 0;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError("integer literal out of range: " +
+                                    text);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kStringLiteral, start, std::move(value));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") +
+                                  c + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return tokens;
+}
+
+}  // namespace bypass

@@ -1,0 +1,19 @@
+// Hand-written SQL lexer.
+#ifndef BYPASSDB_SQL_LEXER_H_
+#define BYPASSDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace bypass {
+
+/// Tokenizes `sql`; the result always ends with a kEnd token. Comments
+/// ("-- ..." to end of line) and whitespace are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_SQL_LEXER_H_

@@ -1,0 +1,19 @@
+// Recursive-descent SQL parser for the subset the paper's workload needs:
+// SELECT [DISTINCT] list FROM tables WHERE <boolean expr with nested
+// (scalar/EXISTS/IN) subqueries, aggregates, LIKE, arithmetic> ORDER BY.
+#ifndef BYPASSDB_SQL_PARSER_H_
+#define BYPASSDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bypass {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_SQL_PARSER_H_

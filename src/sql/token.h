@@ -1,0 +1,46 @@
+// SQL token model.
+#ifndef BYPASSDB_SQL_TOKEN_H_
+#define BYPASSDB_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bypass {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,   ///< identifiers and keywords (case-insensitive)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,     // =
+  kNe,     // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      ///< identifier/keyword text (original case)
+  int64_t int_value = 0;
+  double double_value = 0;
+  int position = 0;      ///< byte offset in the input, for error messages
+};
+
+const char* TokenTypeToString(TokenType type);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_SQL_TOKEN_H_

@@ -1,0 +1,58 @@
+// Row: a tuple of Values, plus helpers for hashing, comparing, and
+// multiset-equality of row collections (used heavily by the property tests
+// that validate the unnesting equivalences on multisets).
+#ifndef BYPASSDB_TYPES_ROW_H_
+#define BYPASSDB_TYPES_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace bypass {
+
+using Row = std::vector<Value>;
+
+/// Concatenation x ◦ y.
+Row ConcatRows(const Row& left, const Row& right);
+
+/// Projection of `row` to the given slots.
+Row ProjectRow(const Row& row, const std::vector<int>& slots);
+
+/// Structural equality of full rows (NULL == NULL).
+bool RowsStructurallyEqual(const Row& a, const Row& b);
+
+/// Lexicographic total order on rows using Value::OrderCompare.
+int CompareRows(const Row& a, const Row& b);
+
+/// Hash consistent with RowsStructurallyEqual.
+size_t HashRow(const Row& row);
+
+/// Hash of the given slots of a row.
+size_t HashRowSlots(const Row& row, const std::vector<int>& slots);
+
+/// Structural equality of the given slots.
+bool RowSlotsEqual(const Row& a, const Row& b,
+                   const std::vector<int>& slots_a,
+                   const std::vector<int>& slots_b);
+
+/// True iff `a` and `b` contain the same rows with the same multiplicities
+/// (order-insensitive). The workhorse assertion of the equivalence tests.
+bool RowMultisetsEqual(std::vector<Row> a, std::vector<Row> b);
+
+/// "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+/// Functors for using rows in hash containers (structural semantics).
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    return RowsStructurallyEqual(a, b);
+  }
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_TYPES_ROW_H_

@@ -1,0 +1,78 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace bypass {
+
+int Schema::AddColumn(ColumnDef column) {
+  columns_.push_back(std::move(column));
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+Result<int> Schema::FindColumn(const std::string& qualifier,
+                               const std::string& name) const {
+  int found = -1;
+  for (int i = 0; i < num_columns(); ++i) {
+    const ColumnDef& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     (qualifier.empty()
+                                          ? name
+                                          : qualifier + "." + name));
+    }
+    found = i;
+  }
+  if (found < 0) {
+    return Status::NotFound(
+        "column not found: " +
+        (qualifier.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+bool Schema::HasColumn(const std::string& qualifier,
+                       const std::string& name) const {
+  for (const ColumnDef& c : columns_) {
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Select(const std::vector<int>& slots) const {
+  std::vector<ColumnDef> cols;
+  cols.reserve(slots.size());
+  for (int s : slots) cols.push_back(columns_[s]);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    const ColumnDef& c = columns_[i];
+    if (!c.qualifier.empty()) {
+      out += c.qualifier;
+      out += ".";
+    }
+    out += c.name;
+    out += ":";
+    out += DataTypeToString(c.type);
+  }
+  return out;
+}
+
+}  // namespace bypass

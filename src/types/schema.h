@@ -1,0 +1,63 @@
+// Schema: an ordered list of named, typed columns with optional table
+// qualifiers. Schemas describe both base tables and intermediate operator
+// outputs.
+#ifndef BYPASSDB_TYPES_SCHEMA_H_
+#define BYPASSDB_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace bypass {
+
+/// One column of a schema.
+struct ColumnDef {
+  std::string name;        ///< column name (lower-cased at creation)
+  DataType type;           ///< declared type
+  std::string qualifier;   ///< table name/alias; empty for computed columns
+};
+
+/// An ordered column list. Column positions ("slots") are the engine's
+/// runtime addressing scheme; names only matter during binding.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Appends a column and returns its slot index.
+  int AddColumn(ColumnDef column);
+
+  /// Finds the unique slot with the given (optionally qualified) name.
+  /// Case-insensitive. Errors: NotFound if absent, InvalidArgument if
+  /// ambiguous.
+  Result<int> FindColumn(const std::string& qualifier,
+                         const std::string& name) const;
+
+  /// True if some column matches (qualifier, name).
+  bool HasColumn(const std::string& qualifier,
+                 const std::string& name) const;
+
+  /// Concatenation used by joins: columns of `left` then of `right`.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Schema consisting of the given slots of this schema, in order.
+  Schema Select(const std::vector<int>& slots) const;
+
+  /// "name:TYPE, name:TYPE, ..." (qualified where applicable).
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_TYPES_SCHEMA_H_

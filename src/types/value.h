@@ -1,0 +1,134 @@
+// Value: the engine's runtime datum. SQL NULL is a distinguished state of
+// every value, and comparisons follow SQL three-valued logic.
+#ifndef BYPASSDB_TYPES_VALUE_H_
+#define BYPASSDB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace bypass {
+
+/// Column / value types supported by the engine.
+enum class DataType {
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// SQL three-valued truth values.
+enum class TriBool { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+inline TriBool TriNot(TriBool v) {
+  if (v == TriBool::kUnknown) return TriBool::kUnknown;
+  return v == TriBool::kTrue ? TriBool::kFalse : TriBool::kTrue;
+}
+
+inline TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) {
+    return TriBool::kUnknown;
+  }
+  return TriBool::kTrue;
+}
+
+inline TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) {
+    return TriBool::kUnknown;
+  }
+  return TriBool::kFalse;
+}
+
+/// Comparison operators usable as linking / correlation operators
+/// (the paper's θ ∈ {=, ≠, <, ≤, >, ≥}).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+/// The operator θ' such that (a θ b) == (b θ' a).
+CompareOp FlipCompareOp(CompareOp op);
+/// The operator θ' such that (a θ' b) == NOT (a θ b) under two-valued logic.
+CompareOp NegateCompareOp(CompareOp op);
+
+/// A single SQL datum: NULL or a typed value.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(rep_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(rep_);
+  }
+  /// True for int64 or double.
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int64_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(rep_);
+  }
+
+  /// Numeric value widened to double (valid for int64/double).
+  double AsDouble() const;
+
+  /// The dynamic type; invalid to call on NULL.
+  DataType type() const;
+
+  /// SQL comparison: NULL operands yield Unknown; numeric types compare
+  /// after widening; mismatched non-numeric types yield Unknown.
+  TriBool Compare(CompareOp op, const Value& other) const;
+
+  /// Total order used for sorting and grouping keys: NULL sorts first and
+  /// equals NULL (unlike SQL comparison). Returns <0, 0, >0.
+  int OrderCompare(const Value& other) const;
+
+  /// Structural equality (NULL == NULL). Used for grouping/dedup keys and
+  /// for test assertions; distinct from SQL `=`.
+  bool StructurallyEquals(const Value& other) const {
+    return OrderCompare(other) == 0;
+  }
+
+  /// Hash consistent with StructurallyEquals.
+  size_t Hash() const;
+
+  /// Display form ("NULL", "42", "3.5", "'abc'", "true").
+  std::string ToString() const;
+
+ private:
+  using Rep =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// gtest-friendly operator: structural equality.
+inline bool operator==(const Value& a, const Value& b) {
+  return a.StructurallyEquals(b);
+}
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_TYPES_VALUE_H_

@@ -1,0 +1,202 @@
+#include "workload/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bypass {
+
+namespace {
+
+/// Splits one logical CSV record (no embedded newlines supported) into
+/// fields; `quoted[i]` records whether field i was quoted (distinguishes
+/// NULL from the empty string).
+Status SplitLine(const std::string& line, char delimiter,
+                 std::vector<std::string>* fields,
+                 std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == delimiter) {
+      fields->push_back(std::move(current));
+      quoted->push_back(was_quoted);
+      current.clear();
+      was_quoted = false;
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields->push_back(std::move(current));
+  quoted->push_back(was_quoted);
+  return Status::OK();
+}
+
+Result<Value> ParseField(const std::string& field, bool was_quoted,
+                         DataType type) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno == ERANGE || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("not an integer: '" + field + "'");
+      }
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("not a number: '" + field + "'");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kBool: {
+      if (field == "true" || field == "1") return Value::Bool(true);
+      if (field == "false" || field == "0") return Value::Bool(false);
+      return Status::InvalidArgument("not a boolean: '" + field + "'");
+    }
+    case DataType::kString:
+      return Value::String(field);
+  }
+  return Status::InvalidArgument("unknown column type");
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  if (s.empty()) return true;  // distinguish '' from NULL
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& field,
+                 char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) {
+    *out += field;
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ParseCsv(const std::string& text,
+                                  const Schema& schema,
+                                  const CsvOptions& options) {
+  std::vector<Row> rows;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  bool skipped_header = !options.has_header;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    BYPASS_RETURN_IF_ERROR(
+        SplitLine(line, options.delimiter, &fields, &quoted));
+    if (static_cast<int>(fields.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected " +
+          std::to_string(schema.num_columns()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (int i = 0; i < schema.num_columns(); ++i) {
+      auto value = ParseField(fields[static_cast<size_t>(i)],
+                              quoted[static_cast<size_t>(i)],
+                              schema.column(i).type);
+      if (!value.ok()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ", column '" +
+            schema.column(i).name + "': " + value.status().message());
+      }
+      row.push_back(std::move(*value));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status LoadCsvFile(const std::string& path, Table* table,
+                   const CsvOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  BYPASS_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      ParseCsv(buffer.str(), table->schema(), options));
+  return table->AppendUnchecked(std::move(rows));
+}
+
+std::string WriteCsv(const Schema& schema, const std::vector<Row>& rows,
+                     const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (int i = 0; i < schema.num_columns(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      out += schema.column(i).name;
+    }
+    out.push_back('\n');
+  }
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      const Value& v = row[i];
+      if (v.is_null()) continue;  // NULL: empty unquoted field
+      if (v.is_string()) {
+        AppendField(&out, v.string_value(), options.delimiter);
+      } else if (v.is_bool()) {
+        out += v.bool_value() ? "true" : "false";
+      } else if (v.is_int64()) {
+        out += std::to_string(v.int64_value());
+      } else {
+        std::ostringstream os;
+        os << v.double_value();
+        out += os.str();
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace bypass

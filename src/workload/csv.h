@@ -1,0 +1,40 @@
+// CSV import/export for tables: the adoption path for users who want to
+// run the unnesting engine on their own data.
+//
+// Format: comma-separated, first line optional header, '"'-quoted fields
+// with doubled quotes as escapes. Parsing is schema-driven: INT64/DOUBLE
+// columns parse numerically, STRING stays text, BOOL accepts
+// true/false/0/1; empty unquoted fields load as NULL.
+#ifndef BYPASSDB_WORKLOAD_CSV_H_
+#define BYPASSDB_WORKLOAD_CSV_H_
+
+#include <string>
+
+#include "catalog/table.h"
+#include "common/result.h"
+
+namespace bypass {
+
+struct CsvOptions {
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+/// Parses CSV text into rows matching `schema`. Errors carry 1-based line
+/// numbers.
+Result<std::vector<Row>> ParseCsv(const std::string& text,
+                                  const Schema& schema,
+                                  const CsvOptions& options = CsvOptions());
+
+/// Appends the rows of a CSV file to `table`.
+Status LoadCsvFile(const std::string& path, Table* table,
+                   const CsvOptions& options = CsvOptions());
+
+/// Renders rows as CSV (header from `schema` when requested). NULLs
+/// become empty fields; strings are quoted when needed.
+std::string WriteCsv(const Schema& schema, const std::vector<Row>& rows,
+                     const CsvOptions& options = CsvOptions());
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_WORKLOAD_CSV_H_

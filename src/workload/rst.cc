@@ -1,0 +1,62 @@
+#include "workload/rst.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bypass {
+
+Schema RstTableSchema(char prefix) {
+  Schema schema;
+  for (int i = 1; i <= 4; ++i) {
+    schema.AddColumn(
+        {std::string(1, prefix) + std::to_string(i), DataType::kInt64, ""});
+  }
+  return schema;
+}
+
+namespace {
+
+Status LoadOne(Database* db, const std::string& name, char prefix,
+               double sf, const RstOptions& options, uint64_t seed) {
+  if (db->catalog()->HasTable(name)) {
+    BYPASS_RETURN_IF_ERROR(db->catalog()->DropTable(name));
+  }
+  BYPASS_ASSIGN_OR_RETURN(Table * table,
+                          db->CreateTable(name, RstTableSchema(prefix)));
+  const int64_t rows = static_cast<int64_t>(
+      std::llround(sf * static_cast<double>(options.rows_per_sf)));
+  Rng rng(seed);
+  // The linking columns (*1) must hit plausible group counts: groups have
+  // ≈ rows/group_domain members on average.
+  const int64_t max_count =
+      std::max<int64_t>(2, 2 * rows / std::max<int64_t>(1,
+                                                        options.group_domain));
+  std::vector<Row> data;
+  data.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    Row row;
+    row.reserve(4);
+    row.push_back(Value::Int64(rng.UniformInt(0, max_count)));
+    row.push_back(Value::Int64(rng.UniformInt(0, options.group_domain - 1)));
+    row.push_back(Value::Int64(rng.UniformInt(0, rows > 0 ? rows - 1 : 0)));
+    row.push_back(Value::Int64(rng.UniformInt(0, options.filter_domain - 1)));
+    data.push_back(std::move(row));
+  }
+  return table->AppendUnchecked(std::move(data));
+}
+
+}  // namespace
+
+Status LoadRst(Database* db, double sf_r, double sf_s, double sf_t,
+               const RstOptions& options) {
+  BYPASS_RETURN_IF_ERROR(
+      LoadOne(db, "r", 'a', sf_r, options, options.seed * 3 + 1));
+  BYPASS_RETURN_IF_ERROR(
+      LoadOne(db, "s", 'b', sf_s, options, options.seed * 3 + 2));
+  BYPASS_RETURN_IF_ERROR(
+      LoadOne(db, "t", 'c', sf_t, options, options.seed * 3 + 3));
+  return Status::OK();
+}
+
+}  // namespace bypass

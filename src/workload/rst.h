@@ -1,0 +1,46 @@
+// The paper's synthetic RST schema (Sec. 4.1): three tables R, S, T with
+// four integer columns each (a1..a4 / b1..b4 / c1..c4); scaling factor k
+// gives 10000*k rows. The paper does not publish value distributions; the
+// defaults below are chosen so its predicates have sensible selectivities
+// and are documented in EXPERIMENTS.md:
+//   *2 (correlation column)   uniform [0, group_domain)   — ≈|S|/1000
+//                             tuples per group at the default 1000
+//   *1 (linking column)       uniform [0, 2·rows/group_domain] — the
+//                             linking equality hits a real group count
+//                             for a nontrivial fraction of tuples
+//   *3                        uniform [0, rows)           — near-unique
+//   *4 (simple predicate)     uniform [0, 10000)          — "x > 1500"
+//                             passes ≈85 %
+#ifndef BYPASSDB_WORKLOAD_RST_H_
+#define BYPASSDB_WORKLOAD_RST_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace bypass {
+
+struct RstOptions {
+  /// Rows per unit of scale factor (paper: 10000; benchmarks may scale
+  /// down for the quadratic canonical plans).
+  int64_t rows_per_sf = 10000;
+  /// Domain of the correlation columns (*2).
+  int64_t group_domain = 1000;
+  /// Domain of the *4 predicate columns.
+  int64_t filter_domain = 10000;
+  uint64_t seed = 42;
+};
+
+/// Creates (or replaces) tables r, s, t with scale factors sf_r, sf_s,
+/// sf_t. The paper scales the outer (SF1) and inner (SF2) blocks
+/// independently.
+Status LoadRst(Database* db, double sf_r, double sf_s, double sf_t,
+               const RstOptions& options = RstOptions());
+
+/// Schema helper: four INT64 columns with the given letter prefix.
+Schema RstTableSchema(char prefix);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_WORKLOAD_RST_H_

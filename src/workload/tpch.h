@@ -1,0 +1,38 @@
+// A dbgen-like generator for the TPC-H schema (paper Sec. 4.1 runs Query
+// 2d on TPC-H data at SF 0.01 … 10). Cardinalities and key structure
+// follow the specification (region 5, nation 25, supplier 10000·SF, part
+// 200000·SF, partsupp 4 per part with the spec's supplier-assignment
+// formula); text columns use compact synthetic strings, and money columns
+// use uniform doubles in the spec's ranges. Dates are encoded as INT64
+// yyyymmdd. The sales side (customer/orders/lineitem) is optional — Query
+// 2d does not touch it.
+#ifndef BYPASSDB_WORKLOAD_TPCH_H_
+#define BYPASSDB_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace bypass {
+
+struct TpchOptions {
+  double scale_factor = 0.01;
+  bool include_sales = false;  ///< also generate customer/orders/lineitem
+  uint64_t seed = 7;
+};
+
+/// Creates (or replaces) the TPC-H tables in `db`.
+Status LoadTpch(Database* db, const TpchOptions& options = TpchOptions());
+
+/// The paper's introductory "Query 2d": TPC-H Q2 with the minimum-cost
+/// subquery made disjunctive (… OR ps_availqty > 2000), using standard
+/// TPC-H column names.
+const char* TpchQuery2d();
+
+/// The conjunctive original (plain TPC-H Q2 shape) for comparison.
+const char* TpchQuery2();
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_WORKLOAD_TPCH_H_

@@ -1,0 +1,114 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace bypass {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.AddColumn({"id", DataType::kInt64, ""});
+  s.AddColumn({"name", DataType::kString, ""});
+  return s;
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema()).ok());
+  auto t = catalog.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "t");
+  EXPECT_TRUE(catalog.HasTable("T"));  // case-insensitive
+}
+
+TEST(CatalogTest, DuplicateCreateFails) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema()).ok());
+  auto dup = catalog.CreateTable("T", TwoColSchema());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, GetMissingFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColSchema()).ok());
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_EQ(catalog.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zeta", TwoColSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("alpha", TwoColSchema()).ok());
+  const auto names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table table("t", TwoColSchema());
+  EXPECT_FALSE(table.Append(Row{Value::Int64(1)}).ok());
+  EXPECT_TRUE(
+      table.Append(Row{Value::Int64(1), Value::String("x")}).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+TEST(TableTest, AppendChecksTypesButAllowsNull) {
+  Table table("t", TwoColSchema());
+  EXPECT_FALSE(
+      table.Append(Row{Value::String("oops"), Value::String("x")}).ok());
+  EXPECT_TRUE(table.Append(Row{Value::Null(), Value::Null()}).ok());
+  // int64/double are interchangeable at load time (numeric widening).
+  EXPECT_TRUE(
+      table.Append(Row{Value::Double(1.5), Value::String("x")}).ok());
+}
+
+TEST(TableTest, AppendUncheckedValidatesArityOnly) {
+  Table table("t", TwoColSchema());
+  std::vector<Row> bad = {Row{Value::Int64(1)}};
+  EXPECT_FALSE(table.AppendUnchecked(std::move(bad)).ok());
+  std::vector<Row> good = {Row{Value::Int64(1), Value::String("a")},
+                           Row{Value::Int64(2), Value::String("b")}};
+  EXPECT_TRUE(table.AppendUnchecked(std::move(good)).ok());
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(TableTest, ClearDropsRows) {
+  Table table("t", TwoColSchema());
+  ASSERT_TRUE(table.Append(Row{Value::Int64(1), Value::String("x")}).ok());
+  table.Clear();
+  EXPECT_EQ(table.num_rows(), 0);
+}
+
+TEST(TableTest, StatsComputeMinMaxNdvNulls) {
+  Table table("t", TwoColSchema());
+  ASSERT_TRUE(table.Append(Row{Value::Int64(5), Value::String("a")}).ok());
+  ASSERT_TRUE(table.Append(Row{Value::Int64(2), Value::String("a")}).ok());
+  ASSERT_TRUE(table.Append(Row{Value::Null(), Value::String("b")}).ok());
+  const auto& stats = table.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].min.int64_value(), 2);
+  EXPECT_EQ(stats[0].max.int64_value(), 5);
+  EXPECT_EQ(stats[0].null_count, 1);
+  EXPECT_EQ(stats[0].distinct_count, 2);
+  EXPECT_EQ(stats[1].distinct_count, 2);
+  EXPECT_EQ(stats[1].null_count, 0);
+}
+
+TEST(TableTest, StatsInvalidatedByAppend) {
+  Table table("t", TwoColSchema());
+  ASSERT_TRUE(table.Append(Row{Value::Int64(1), Value::String("a")}).ok());
+  EXPECT_EQ(table.stats()[0].max.int64_value(), 1);
+  ASSERT_TRUE(table.Append(Row{Value::Int64(9), Value::String("a")}).ok());
+  EXPECT_EQ(table.stats()[0].max.int64_value(), 9);
+}
+
+}  // namespace
+}  // namespace bypass

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "frontend/translator.h"
+#include "expr/expr_util.h"
+#include "rewrite/classify.h"
+#include "rewrite/rank.h"
+#include "sql/parser.h"
+#include "workload/rst.h"
+
+namespace bypass {
+namespace {
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.CreateTable("r", RstTableSchema('a')).ok());
+    ASSERT_TRUE(catalog_.CreateTable("s", RstTableSchema('b')).ok());
+    ASSERT_TRUE(catalog_.CreateTable("t", RstTableSchema('c')).ok());
+  }
+
+  LogicalOpPtr Translate(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok());
+    Translator translator(&catalog_);
+    auto plan = translator.Translate(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  /// Kim type of the first subquery in the plan's residual selection.
+  KimType FirstSubqueryType(const std::string& sql) {
+    LogicalOpPtr plan = Translate(sql);
+    EXPECT_EQ(plan->kind(), LogicalOpKind::kSelect);
+    auto subqueries = FindSubqueries(
+        static_cast<const SelectOp*>(plan.get())->predicate().get());
+    EXPECT_FALSE(subqueries.empty());
+    return ClassifySubquery(*subqueries[0]);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ClassifyTest, TypeA_AggregateUncorrelated) {
+  EXPECT_EQ(FirstSubqueryType(
+                "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s)"),
+            KimType::kA);
+}
+
+TEST_F(ClassifyTest, TypeN_TableUncorrelated) {
+  EXPECT_EQ(FirstSubqueryType(
+                "SELECT * FROM r WHERE a1 IN (SELECT b1 FROM s)"),
+            KimType::kN);
+}
+
+TEST_F(ClassifyTest, TypeJ_TableCorrelated) {
+  EXPECT_EQ(
+      FirstSubqueryType(
+          "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE a2 = b2)"),
+      KimType::kJ);
+}
+
+TEST_F(ClassifyTest, TypeJA_AggregateCorrelated) {
+  EXPECT_EQ(FirstSubqueryType("SELECT * FROM r WHERE a1 = "
+                              "(SELECT COUNT(*) FROM s WHERE a2 = b2)"),
+            KimType::kJA);
+}
+
+TEST_F(ClassifyTest, NestingFlat) {
+  EXPECT_EQ(ClassifyNesting(*Translate("SELECT * FROM r WHERE a1 > 3")),
+            NestingStructure::kFlat);
+}
+
+TEST_F(ClassifyTest, NestingSimple) {
+  EXPECT_EQ(ClassifyNesting(*Translate(
+                "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s)")),
+            NestingStructure::kSimple);
+}
+
+TEST_F(ClassifyTest, NestingLinear) {
+  EXPECT_EQ(
+      ClassifyNesting(*Translate(
+          "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s WHERE "
+          "b1 = (SELECT COUNT(*) FROM t WHERE b2 = c2))")),
+      NestingStructure::kLinear);
+}
+
+TEST_F(ClassifyTest, NestingTree) {
+  EXPECT_EQ(
+      ClassifyNesting(*Translate(
+          "SELECT * FROM r WHERE a1 = (SELECT COUNT(*) FROM s) "
+          "OR a2 = (SELECT COUNT(*) FROM t)")),
+      NestingStructure::kTree);
+}
+
+// --- rank model ---
+
+TEST(RankTest, EqualityIsMoreSelectiveThanRange) {
+  auto ref = MakeColumnRef("r", "a1");
+  auto eq = MakeComparison(CompareOp::kEq, ref->Clone(),
+                           MakeLiteral(Value::Int64(1)));
+  auto lt = MakeComparison(CompareOp::kLt, ref->Clone(),
+                           MakeLiteral(Value::Int64(1)));
+  EXPECT_LT(EstimateSelectivity(*eq), EstimateSelectivity(*lt));
+}
+
+TEST(RankTest, ConjunctionMultipliesDisjunctionComplements) {
+  auto ref = MakeColumnRef("r", "a1");
+  auto eq = MakeComparison(CompareOp::kEq, ref->Clone(),
+                           MakeLiteral(Value::Int64(1)));
+  auto both = MakeAnd({eq->Clone(), eq->Clone()});
+  auto either = MakeOr({eq->Clone(), eq->Clone()});
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(*both), 0.01);
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(*either), 1 - 0.9 * 0.9);
+}
+
+TEST(RankTest, SubqueryDominatesCost) {
+  auto sq = std::make_shared<SubqueryExpr>(SubqueryKind::kScalar, nullptr);
+  auto link = MakeComparison(CompareOp::kEq, MakeColumnRef("r", "a1"),
+                             ExprPtr(sq));
+  auto simple = MakeComparison(CompareOp::kGt, MakeColumnRef("r", "a4"),
+                               MakeLiteral(Value::Int64(1500)));
+  EXPECT_GT(EstimateCost(*link, 1000.0), EstimateCost(*simple, 1000.0));
+  // Lower rank evaluates first: the simple predicate must win by default.
+  EXPECT_LT(PredicateRank(*simple, 1000.0), PredicateRank(*link, 1000.0));
+}
+
+TEST(RankTest, ExpensivePredicateFlipsTheOrder) {
+  // A LIKE over a tiny subquery cost: the subquery side should now rank
+  // lower (evaluate first) — the Eqv. 3 situation from the paper.
+  auto sq = std::make_shared<SubqueryExpr>(SubqueryKind::kScalar, nullptr);
+  auto link = MakeComparison(CompareOp::kEq, MakeColumnRef("r", "a1"),
+                             ExprPtr(sq));
+  auto expensive = std::make_shared<LikeExpr>(
+      MakeColumnRef("r", "a4"), "%pattern%", false);
+  EXPECT_LT(PredicateRank(*link, /*subquery_cost=*/0.5),
+            PredicateRank(*expensive, /*subquery_cost=*/0.5));
+}
+
+TEST(RankTest, RankFormulaIsSelectivityMinusOneOverCost) {
+  auto simple = MakeComparison(CompareOp::kGt, MakeColumnRef("r", "a4"),
+                               MakeLiteral(Value::Int64(1500)));
+  const double sel = EstimateSelectivity(*simple);
+  const double cost = EstimateCost(*simple, 100.0);
+  EXPECT_DOUBLE_EQ(PredicateRank(*simple, 100.0), (sel - 1.0) / cost);
+}
+
+}  // namespace
+}  // namespace bypass

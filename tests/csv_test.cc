@@ -1,0 +1,129 @@
+#include "workload/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+Schema MixedSchema() {
+  Schema s;
+  s.AddColumn({"id", DataType::kInt64, ""});
+  s.AddColumn({"name", DataType::kString, ""});
+  s.AddColumn({"score", DataType::kDouble, ""});
+  s.AddColumn({"active", DataType::kBool, ""});
+  return s;
+}
+
+TEST(CsvTest, ParsesTypedFields) {
+  auto rows = ParseCsv(
+      "id,name,score,active\n"
+      "1,alice,2.5,true\n"
+      "2,bob,-1,0\n",
+      MixedSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].int64_value(), 1);
+  EXPECT_EQ((*rows)[0][1].string_value(), "alice");
+  EXPECT_DOUBLE_EQ((*rows)[0][2].double_value(), 2.5);
+  EXPECT_TRUE((*rows)[0][3].bool_value());
+  EXPECT_FALSE((*rows)[1][3].bool_value());
+}
+
+TEST(CsvTest, EmptyUnquotedFieldsAreNull) {
+  auto rows = ParseCsv("1,,2.5,\n", MixedSchema(),
+                       CsvOptions{/*has_header=*/false, ','});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_TRUE((*rows)[0][1].is_null());
+  EXPECT_TRUE((*rows)[0][3].is_null());
+}
+
+TEST(CsvTest, QuotedEmptyStringIsNotNull) {
+  auto rows = ParseCsv("1,\"\",2.5,true\n", MixedSchema(),
+                       CsvOptions{false, ','});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE((*rows)[0][1].is_string());
+  EXPECT_EQ((*rows)[0][1].string_value(), "");
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto rows = ParseCsv("1,\"a,b \"\"c\"\"\",0.5,true\n", MixedSchema(),
+                       CsvOptions{false, ','});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][1].string_value(), "a,b \"c\"");
+}
+
+TEST(CsvTest, ArityMismatchReportsLine) {
+  auto rows = ParseCsv("1,alice,2.5,true\n1,too,few\n", MixedSchema(),
+                       CsvOptions{false, ','});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, TypeErrorReportsColumn) {
+  auto rows = ParseCsv("xyz,alice,2.5,true\n", MixedSchema(),
+                       CsvOptions{false, ','});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("'id'"), std::string::npos);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto rows = ParseCsv("1,\"oops,2.5,true\n", MixedSchema(),
+                       CsvOptions{false, ','});
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvTest, WindowsLineEndingsAndBlankLines) {
+  auto rows = ParseCsv("1,a,1.0,true\r\n\r\n2,b,2.0,false\r\n",
+                       MixedSchema(), CsvOptions{false, ','});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(CsvTest, RoundTripThroughWrite) {
+  std::vector<Row> rows = {
+      Row{Value::Int64(1), Value::String("a,b"), Value::Double(0.5),
+          Value::Bool(true)},
+      Row{Value::Int64(2), Value::Null(), Value::Null(),
+          Value::Bool(false)},
+  };
+  const std::string text = WriteCsv(MixedSchema(), rows);
+  auto parsed = ParseCsv(text, MixedSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(RowMultisetsEqual(rows, *parsed));
+}
+
+TEST(CsvTest, LoadCsvFileIntoTableAndQuery) {
+  const char* path = "/tmp/bypassdb_csv_test.csv";
+  {
+    std::ofstream f(path);
+    f << "a1,a2,a3,a4\n";
+    for (int i = 0; i < 10; ++i) {
+      f << i << "," << i % 3 << "," << i << "," << i * 100 << "\n";
+    }
+  }
+  Database db;
+  ASSERT_TRUE(db.CreateTable("r", RstTableSchema('a')).ok());
+  ASSERT_TRUE(
+      LoadCsvFile(path, *db.catalog()->GetTable("r")).ok());
+  auto result = db.Query("SELECT COUNT(*) FROM r WHERE a4 >= 500");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int64_value(), 5);
+  std::remove(path);
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("r", RstTableSchema('a')).ok());
+  EXPECT_EQ(LoadCsvFile("/nonexistent/nope.csv",
+                        *db.catalog()->GetTable("r"))
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bypass

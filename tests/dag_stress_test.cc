@@ -1,0 +1,143 @@
+// DAG stress tests: queries whose rewritten plans stack several bypass
+// operators, shared streams, and unions — exercising the executor's
+// fan-out, finish-counting, and buffer-on-adverse-order machinery harder
+// than any single equivalence does.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+using testing_util::LoadSmallRst;
+
+TEST(DagStressTest, FourWayDisjunctionCascade) {
+  // Three subquery disjuncts + one simple: three stacked bypass
+  // selections, four union branches.
+  Database db;
+  LoadSmallRst(&db, 2001, 25, 25, 25);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) "
+      "   OR a2 = (SELECT COUNT(*) FROM t WHERE a3 = c2) "
+      "   OR a3 = (SELECT MIN(b3) FROM s WHERE a4 = b4) "
+      "   OR a4 > 5");
+  EXPECT_FALSE(result.applied_rules.empty());
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(DagStressTest, TwoIndependentConjunctsEachDisjunctive) {
+  // Two AND-ed disjunctive conjuncts: the rewriter unnests them in
+  // successive fixpoint passes, producing two stacked bypass DAGs.
+  Database db;
+  LoadSmallRst(&db, 2002, 25, 30, 25);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE (a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 2) "
+      "  AND (a3 = (SELECT COUNT(*) FROM t WHERE a2 = c2) OR a4 < 6)");
+  EXPECT_GE(result.applied_rules.size(), 2u);
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(DagStressTest, DisjunctionUnderGroupByAndHaving) {
+  // The unnested DAG feeds a grouping with HAVING and ORDER BY on top.
+  Database db;
+  LoadSmallRst(&db, 2003, 40, 40, 10);
+  const char* sql =
+      "SELECT a2, COUNT(*) AS n FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3 "
+      "GROUP BY a2 HAVING COUNT(*) >= 1 ORDER BY n DESC, a2";
+  QueryOptions canonical;
+  canonical.unnest = false;
+  auto base = db.Query(sql, canonical);
+  auto opt = db.Query(sql);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  ASSERT_EQ(base->rows.size(), opt->rows.size());
+  for (size_t i = 0; i < base->rows.size(); ++i) {
+    EXPECT_TRUE(RowsStructurallyEqual(base->rows[i], opt->rows[i]));
+  }
+}
+
+TEST(DagStressTest, UnionOfTwoUnnestedBranches) {
+  Database db;
+  LoadSmallRst(&db, 2004, 25, 25, 25);
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1 FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 4 "
+      "UNION ALL "
+      "SELECT a2 FROM r "
+      "WHERE a3 = (SELECT COUNT(*) FROM t WHERE a2 = c2) OR a4 < 3");
+}
+
+TEST(DagStressTest, Eqv5InsideTreeCascade) {
+  // A tree query whose first branch needs Eqv. 5 (DISTINCT aggregate +
+  // disjunctive correlation): bypass join DAG nested inside a bypass
+  // selection cascade.
+  Database db;
+  LoadSmallRst(&db, 2005, 18, 20, 20);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(DISTINCT b3) FROM s "
+      "            WHERE a2 = b2 OR b4 > 4) "
+      "   OR a3 = (SELECT COUNT(*) FROM t WHERE a4 = c2)");
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(DagStressTest, SelectClauseBlockPlusWhereCascade) {
+  Database db;
+  LoadSmallRst(&db, 2006, 20, 25, 20);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, (SELECT MAX(b3) FROM s WHERE a2 = b2) AS m FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM t WHERE a3 = c2 OR c4 > 4) "
+      "   OR a4 BETWEEN 2 AND 5");
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(DagStressTest, RepeatedExecutionOfOneDagPlanIsStable) {
+  // Re-running the same unnested DAG plan (fresh lowering each time)
+  // must be deterministic across 10 runs.
+  Database db;
+  LoadSmallRst(&db, 2007, 30, 30, 30);
+  const char* sql =
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3) "
+      "   OR a4 > 5";
+  auto first = db.Query(sql);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto again = db.Query(sql);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(RowMultisetsEqual(first->rows, again->rows)) << i;
+  }
+}
+
+TEST(DagStressTest, WideDisjunctionOfSimplePredicates) {
+  // No subqueries at all: a wide OR must not be touched by the rewriter
+  // (nothing to unnest) and must evaluate correctly.
+  Database db;
+  LoadSmallRst(&db, 2008, 50, 10, 10);
+  QueryOptions options;
+  auto result = db.Query(
+      "SELECT * FROM r WHERE a1 = 1 OR a2 = 2 OR a3 = 3 OR a4 = 4",
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applied_rules.empty());
+  for (const Row& row : result->rows) {
+    const bool qualifies = row[0] == Value::Int64(1) ||
+                           row[1] == Value::Int64(2) ||
+                           row[2] == Value::Int64(3) ||
+                           row[3] == Value::Int64(4);
+    EXPECT_TRUE(qualifies) << RowToString(row);
+  }
+}
+
+}  // namespace
+}  // namespace bypass

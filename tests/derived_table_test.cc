@@ -1,0 +1,106 @@
+// Derived tables (FROM-clause subqueries) — paper outlook item (2):
+// because a derived table's operators join the enclosing block's plan
+// tree, disjunctive subqueries inside it are unnested by the same
+// fixpoint rewriting.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+using testing_util::LoadSmallRst;
+
+TEST(DerivedTableParseTest, RequiresAlias) {
+  EXPECT_TRUE(ParseSelect("SELECT * FROM (SELECT a1 FROM r) x").ok());
+  EXPECT_EQ(ParseSelect("SELECT * FROM (SELECT a1 FROM r)")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(DerivedTableTest, ColumnsQualifiedByAlias) {
+  Database db;
+  LoadSmallRst(&db, 701, 20, 10, 10);
+  auto result = db.Query(
+      "SELECT x.a1, x.renamed FROM "
+      "(SELECT a1, a2 AS renamed FROM r) x WHERE x.renamed > 3");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->schema.column(0).qualifier, "x");
+  EXPECT_EQ(result->schema.column(1).name, "renamed");
+}
+
+TEST(DerivedTableTest, JoinsWithBaseTables) {
+  Database db;
+  LoadSmallRst(&db, 702, 25, 25, 10);
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT * FROM s, (SELECT a1, a2 FROM r WHERE a4 > 3) x "
+      "WHERE x.a2 = b2");
+}
+
+TEST(DerivedTableTest, AggregatedDerivedTable) {
+  Database db;
+  LoadSmallRst(&db, 703, 40, 10, 10);
+  auto result = db.Query(
+      "SELECT g.key, g.n FROM "
+      "(SELECT a2 AS key, COUNT(*) AS n FROM r GROUP BY a2) g "
+      "WHERE g.n > 2 ORDER BY g.n DESC, g.key");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_GE(result->rows[i - 1][1].int64_value(),
+              result->rows[i][1].int64_value());
+  }
+}
+
+TEST(DerivedTableTest, DisjunctiveSubqueryInsideIsUnnested) {
+  Database db;
+  LoadSmallRst(&db, 704, 30, 35, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT * FROM "
+      "(SELECT DISTINCT * FROM r "
+      " WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3) dt "
+      "WHERE dt.a3 < 4");
+  EXPECT_FALSE(result.applied_rules.empty());
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(DerivedTableTest, OuterBlockSubqueryOverDerivedTable) {
+  Database db;
+  LoadSmallRst(&db, 705, 25, 30, 10);
+  // The subquery correlates with a derived table's column.
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM (SELECT a1, a2, a4 FROM r) x "
+      "WHERE x.a1 = (SELECT COUNT(*) FROM s WHERE x.a2 = b2) "
+      "   OR x.a4 > 3");
+}
+
+TEST(DerivedTableTest, DuplicateOutputColumnsRejected) {
+  Database db;
+  LoadSmallRst(&db, 706, 5, 5, 5);
+  EXPECT_EQ(db.Query("SELECT * FROM (SELECT a1, a1 FROM r) x")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST(DerivedTableTest, NestedDerivedTables) {
+  Database db;
+  LoadSmallRst(&db, 707, 20, 5, 5);
+  auto result = db.Query(
+      "SELECT * FROM (SELECT y.a1 AS v FROM "
+      "(SELECT a1 FROM r WHERE a1 > 1) y) z WHERE z.v < 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const Row& row : result->rows) {
+    EXPECT_GT(row[0].int64_value(), 1);
+    EXPECT_LT(row[0].int64_value(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace bypass

@@ -1,0 +1,524 @@
+// Direct tests of the physical operators: wiring small operator graphs by
+// hand and asserting stream-level invariants — the bypass partition
+// property, the count-bug-safe outer join defaults, agreement of hash and
+// nested-loop implementations, buffering correctness under adverse source
+// orders.
+#include <gtest/gtest.h>
+
+#include "catalog/table.h"
+#include "exec/distinct.h"
+#include "exec/executor.h"
+#include "exec/filter.h"
+#include "exec/group_by.h"
+#include "exec/join.h"
+#include "exec/outer_join.h"
+#include "exec/project.h"
+#include "exec/semi_join.h"
+#include "exec/sort.h"
+#include "exec/union_op.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::IntRow;
+using testing_util::IntSchema;
+
+ExprPtr Slot(int slot) {
+  auto ref = std::make_shared<ColumnRefExpr>("", "c", false);
+  ref->set_slot(slot);
+  return ref;
+}
+
+ExprPtr GtLit(int slot, int64_t value) {
+  return MakeComparison(CompareOp::kGt, Slot(slot),
+                        MakeLiteral(Value::Int64(value)));
+}
+
+/// Builds a plan around a single operator: scan(table) → op → sink, with
+/// optional second scan into the op's right port.
+struct MiniPlan {
+  PhysicalPlan plan;
+  CollectorSink* sink = nullptr;
+
+  std::vector<Row> Run() {
+    ExecContext ctx;
+    Status st = RunPlan(&plan, &ctx);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return sink->TakeRows();
+  }
+};
+
+MiniPlan UnaryPlan(const Table* table, PhysOpPtr op, int out_port = 0) {
+  MiniPlan mini;
+  auto scan = std::make_unique<TableScanOp>(table);
+  auto sink = std::make_unique<CollectorSink>();
+  scan->AddConsumer(kPortOut, op.get(), 0);
+  op->AddConsumer(out_port, sink.get(), 0);
+  mini.sink = sink.get();
+  mini.plan.sources.push_back(scan.get());
+  mini.plan.ops.push_back(std::move(scan));
+  mini.plan.ops.push_back(std::move(op));
+  mini.plan.ops.push_back(std::move(sink));
+  return mini;
+}
+
+MiniPlan BinaryPlan(const Table* left, const Table* right, PhysOpPtr op,
+                    bool left_source_first = false) {
+  MiniPlan mini;
+  auto left_scan = std::make_unique<TableScanOp>(left);
+  auto right_scan = std::make_unique<TableScanOp>(right);
+  auto sink = std::make_unique<CollectorSink>();
+  left_scan->AddConsumer(kPortOut, op.get(), BinaryPhysOp::kLeft);
+  right_scan->AddConsumer(kPortOut, op.get(), BinaryPhysOp::kRight);
+  op->AddConsumer(kPortOut, sink.get(), 0);
+  mini.sink = sink.get();
+  if (left_source_first) {
+    mini.plan.sources.push_back(left_scan.get());
+    mini.plan.sources.push_back(right_scan.get());
+  } else {
+    mini.plan.sources.push_back(right_scan.get());
+    mini.plan.sources.push_back(left_scan.get());
+  }
+  mini.plan.ops.push_back(std::move(left_scan));
+  mini.plan.ops.push_back(std::move(right_scan));
+  mini.plan.ops.push_back(std::move(op));
+  mini.plan.ops.push_back(std::move(sink));
+  return mini;
+}
+
+Table MakeTable(const char* name, int cols, std::vector<Row> rows) {
+  std::vector<std::string> names;
+  for (int i = 0; i < cols; ++i) names.push_back("c" + std::to_string(i));
+  Table table(name, IntSchema(names));
+  EXPECT_TRUE(table.AppendUnchecked(std::move(rows)).ok());
+  return table;
+}
+
+TEST(FilterOpTest, KeepsOnlyTrueRows) {
+  Table t = MakeTable("t", 1, {IntRow({1}), IntRow({5}), IntRow({3})});
+  MiniPlan plan =
+      UnaryPlan(&t, std::make_unique<FilterOp>(GtLit(0, 2)));
+  auto rows = plan.Run();
+  EXPECT_TRUE(RowMultisetsEqual(rows, {IntRow({5}), IntRow({3})}));
+}
+
+TEST(FilterOpTest, UnknownPredicateDropsRow) {
+  Table t("t", IntSchema({"c0"}));
+  ASSERT_TRUE(t.Append(Row{Value::Null()}).ok());
+  ASSERT_TRUE(t.Append(Row{Value::Int64(9)}).ok());
+  MiniPlan plan =
+      UnaryPlan(&t, std::make_unique<FilterOp>(GtLit(0, 2)));
+  EXPECT_EQ(plan.Run().size(), 1u);
+}
+
+TEST(BypassFilterOpTest, PartitionIsCompleteAndDisjoint) {
+  Table t = MakeTable("t", 1, {IntRow({1}), IntRow({5}), IntRow({3}),
+                               IntRow({5})});
+  // Collect both streams through a union to verify nothing is lost.
+  auto bypass = std::make_unique<BypassFilterOp>(GtLit(0, 2));
+  auto uni = std::make_unique<UnionAllOp>();
+  auto scan = std::make_unique<TableScanOp>(&t);
+  auto sink = std::make_unique<CollectorSink>();
+  scan->AddConsumer(kPortOut, bypass.get(), 0);
+  bypass->AddConsumer(kPortOut, uni.get(), 0);
+  bypass->AddConsumer(kPortNegative, uni.get(), 1);
+  uni->AddConsumer(kPortOut, sink.get(), 0);
+  MiniPlan mini;
+  mini.sink = sink.get();
+  mini.plan.sources.push_back(scan.get());
+  mini.plan.ops.push_back(std::move(scan));
+  mini.plan.ops.push_back(std::move(bypass));
+  mini.plan.ops.push_back(std::move(uni));
+  mini.plan.ops.push_back(std::move(sink));
+  auto rows = mini.Run();
+  EXPECT_TRUE(RowMultisetsEqual(rows, t.rows()));
+}
+
+TEST(BypassFilterOpTest, NegativeStreamGetsFalseAndUnknown) {
+  Table t("t", IntSchema({"c0"}));
+  ASSERT_TRUE(t.Append(Row{Value::Int64(9)}).ok());   // true → positive
+  ASSERT_TRUE(t.Append(Row{Value::Int64(1)}).ok());   // false → negative
+  ASSERT_TRUE(t.Append(Row{Value::Null()}).ok());     // unknown → negative
+  MiniPlan plan = UnaryPlan(
+      &t, std::make_unique<BypassFilterOp>(GtLit(0, 2)), kPortNegative);
+  EXPECT_EQ(plan.Run().size(), 2u);
+}
+
+TEST(ProjectOpTest, ReshapesRows) {
+  Table t = MakeTable("t", 2, {IntRow({1, 2}), IntRow({3, 4})});
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Slot(1));
+  exprs.push_back(std::make_shared<ArithmeticExpr>(
+      ArithOp::kAdd, Slot(0), MakeLiteral(Value::Int64(10))));
+  MiniPlan plan =
+      UnaryPlan(&t, std::make_unique<ProjectPhysOp>(std::move(exprs)));
+  auto rows = plan.Run();
+  EXPECT_TRUE(RowMultisetsEqual(rows, {IntRow({2, 11}), IntRow({4, 13})}));
+}
+
+TEST(MapOpTest, AppendsComputedColumns) {
+  Table t = MakeTable("t", 1, {IntRow({3})});
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(std::make_shared<ArithmeticExpr>(
+      ArithOp::kMul, Slot(0), MakeLiteral(Value::Int64(2))));
+  MiniPlan plan =
+      UnaryPlan(&t, std::make_unique<MapPhysOp>(std::move(exprs)));
+  EXPECT_TRUE(RowMultisetsEqual(plan.Run(), {IntRow({3, 6})}));
+}
+
+TEST(NumberingOpTest, AssignsSequentialIdsAndResets) {
+  Table t = MakeTable("t", 1, {IntRow({7}), IntRow({8})});
+  MiniPlan plan = UnaryPlan(&t, std::make_unique<NumberingPhysOp>());
+  auto rows = plan.Run();
+  EXPECT_TRUE(
+      RowMultisetsEqual(rows, {IntRow({7, 0}), IntRow({8, 1})}));
+  // Re-running the plan must restart the counter (subplan re-execution).
+  auto again = plan.Run();
+  EXPECT_TRUE(
+      RowMultisetsEqual(again, {IntRow({7, 0}), IntRow({8, 1})}));
+}
+
+TEST(HashJoinOpTest, MatchesNLJoinOnEquiPredicate) {
+  Table left = MakeTable(
+      "l", 2, {IntRow({1, 10}), IntRow({2, 20}), IntRow({2, 21}),
+               IntRow({3, 30})});
+  Table right = MakeTable(
+      "r", 2, {IntRow({2, 200}), IntRow({2, 201}), IntRow({4, 400})});
+  MiniPlan hash = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashJoinOp>(std::vector<int>{0},
+                                   std::vector<int>{0}, nullptr));
+  MiniPlan nl = BinaryPlan(
+      &left, &right,
+      std::make_unique<NLJoinOp>(
+          MakeComparison(CompareOp::kEq, Slot(0), Slot(2))));
+  EXPECT_TRUE(RowMultisetsEqual(hash.Run(), nl.Run()));
+}
+
+TEST(HashJoinOpTest, NullKeysNeverMatch) {
+  Table left("l", IntSchema({"c0"}));
+  ASSERT_TRUE(left.Append(Row{Value::Null()}).ok());
+  ASSERT_TRUE(left.Append(Row{Value::Int64(1)}).ok());
+  Table right("r", IntSchema({"c0"}));
+  ASSERT_TRUE(right.Append(Row{Value::Null()}).ok());
+  ASSERT_TRUE(right.Append(Row{Value::Int64(1)}).ok());
+  MiniPlan hash = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashJoinOp>(std::vector<int>{0},
+                                   std::vector<int>{0}, nullptr));
+  auto rows = hash.Run();
+  ASSERT_EQ(rows.size(), 1u);  // only 1=1; NULL=NULL is unknown
+  EXPECT_EQ(rows[0][0].int64_value(), 1);
+}
+
+TEST(HashJoinOpTest, ResidualPredicateFilters) {
+  Table left = MakeTable("l", 2, {IntRow({1, 5}), IntRow({1, 1})});
+  Table right = MakeTable("r", 2, {IntRow({1, 3})});
+  // join on c0 with residual left.c1 > right.c1 (slots 1 and 3).
+  MiniPlan hash = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashJoinOp>(
+          std::vector<int>{0}, std::vector<int>{0},
+          MakeComparison(CompareOp::kGt, Slot(1), Slot(3))));
+  auto rows = hash.Run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].int64_value(), 5);
+}
+
+TEST(NLJoinOpTest, NullPredicateIsCrossProduct) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2})});
+  Table right = MakeTable("r", 1, {IntRow({10}), IntRow({20}),
+                                   IntRow({30})});
+  MiniPlan plan =
+      BinaryPlan(&left, &right, std::make_unique<NLJoinOp>(nullptr));
+  EXPECT_EQ(plan.Run().size(), 6u);
+}
+
+TEST(BinaryPhysOpTest, BuffersLeftWhenLeftSourceRunsFirst) {
+  // Adverse schedule: the probe (left) pipeline runs before the build
+  // side finished — rows must be buffered, not lost.
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2})});
+  Table right = MakeTable("r", 1, {IntRow({1})});
+  MiniPlan plan = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashJoinOp>(std::vector<int>{0},
+                                   std::vector<int>{0}, nullptr),
+      /*left_source_first=*/true);
+  EXPECT_EQ(plan.Run().size(), 1u);
+}
+
+TEST(BypassNLJoinOpTest, StreamsPartitionTheCrossProduct) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2})});
+  Table right = MakeTable("r", 1, {IntRow({1}), IntRow({3})});
+  auto pred = MakeComparison(CompareOp::kEq, Slot(0), Slot(1));
+  // Positive stream.
+  MiniPlan pos = BinaryPlan(&left, &right,
+                            std::make_unique<BypassNLJoinOp>(pred->Clone()));
+  auto pos_rows = pos.Run();
+  EXPECT_TRUE(RowMultisetsEqual(pos_rows, {IntRow({1, 1})}));
+  // Negative stream: (l×r) minus matches.
+  auto op = std::make_unique<BypassNLJoinOp>(pred->Clone());
+  auto scan_l = std::make_unique<TableScanOp>(&left);
+  auto scan_r = std::make_unique<TableScanOp>(&right);
+  auto sink = std::make_unique<CollectorSink>();
+  scan_l->AddConsumer(kPortOut, op.get(), BinaryPhysOp::kLeft);
+  scan_r->AddConsumer(kPortOut, op.get(), BinaryPhysOp::kRight);
+  op->AddConsumer(kPortNegative, sink.get(), 0);
+  MiniPlan neg;
+  neg.sink = sink.get();
+  neg.plan.sources.push_back(scan_r.get());
+  neg.plan.sources.push_back(scan_l.get());
+  neg.plan.ops.push_back(std::move(scan_l));
+  neg.plan.ops.push_back(std::move(scan_r));
+  neg.plan.ops.push_back(std::move(op));
+  neg.plan.ops.push_back(std::move(sink));
+  auto neg_rows = neg.Run();
+  EXPECT_TRUE(RowMultisetsEqual(
+      neg_rows,
+      {IntRow({1, 3}), IntRow({2, 1}), IntRow({2, 3})}));
+}
+
+TEST(OuterJoinTest, UnmatchedRowsGetDefaults) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({9})});
+  Table right = MakeTable("r", 2, {IntRow({1, 100})});
+  Row unmatched{Value::Null(), Value::Int64(0)};  // the count-bug fix
+  MiniPlan plan = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashLeftOuterJoinOp>(std::vector<int>{0},
+                                            std::vector<int>{0},
+                                            unmatched));
+  auto rows = plan.Run();
+  EXPECT_TRUE(RowMultisetsEqual(
+      rows, {IntRow({1, 1, 100}),
+             Row{Value::Int64(9), Value::Null(), Value::Int64(0)}}));
+}
+
+TEST(OuterJoinTest, HashMatchesNLVariant) {
+  Table left = MakeTable(
+      "l", 1, {IntRow({1}), IntRow({2}), IntRow({2}), IntRow({7})});
+  Table right = MakeTable("r", 2, {IntRow({2, 20}), IntRow({2, 21}),
+                                   IntRow({3, 30})});
+  Row unmatched{Value::Null(), Value::Int64(0)};
+  MiniPlan hash = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashLeftOuterJoinOp>(std::vector<int>{0},
+                                            std::vector<int>{0},
+                                            unmatched));
+  MiniPlan nl = BinaryPlan(
+      &left, &right,
+      std::make_unique<NLLeftOuterJoinOp>(
+          MakeComparison(CompareOp::kEq, Slot(0), Slot(1)), unmatched));
+  EXPECT_TRUE(RowMultisetsEqual(hash.Run(), nl.Run()));
+}
+
+TEST(SemiAntiJoinTest, PartitionTheLeftInput) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2}), IntRow({3}),
+                                  IntRow({2})});
+  Table right = MakeTable("r", 1, {IntRow({2}), IntRow({2}),
+                                   IntRow({4})});
+  MiniPlan semi = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashExistenceJoinOp>(false, std::vector<int>{0},
+                                            std::vector<int>{0}));
+  MiniPlan anti = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashExistenceJoinOp>(true, std::vector<int>{0},
+                                            std::vector<int>{0}));
+  auto semi_rows = semi.Run();
+  auto anti_rows = anti.Run();
+  EXPECT_TRUE(
+      RowMultisetsEqual(semi_rows, {IntRow({2}), IntRow({2})}));
+  EXPECT_TRUE(
+      RowMultisetsEqual(anti_rows, {IntRow({1}), IntRow({3})}));
+  // Semi + anti must partition the left multiset exactly.
+  std::vector<Row> all = semi_rows;
+  all.insert(all.end(), anti_rows.begin(), anti_rows.end());
+  EXPECT_TRUE(RowMultisetsEqual(all, left.rows()));
+}
+
+TEST(SemiAntiJoinTest, HashMatchesNLVariant) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2}), IntRow({3})});
+  Table right = MakeTable("r", 1, {IntRow({2}), IntRow({5})});
+  auto pred = MakeComparison(CompareOp::kEq, Slot(0), Slot(1));
+  for (bool anti : {false, true}) {
+    MiniPlan hash = BinaryPlan(
+        &left, &right,
+        std::make_unique<HashExistenceJoinOp>(anti, std::vector<int>{0},
+                                              std::vector<int>{0}));
+    MiniPlan nl = BinaryPlan(
+        &left, &right,
+        std::make_unique<NLExistenceJoinOp>(anti, pred->Clone()));
+    EXPECT_TRUE(RowMultisetsEqual(hash.Run(), nl.Run())) << anti;
+  }
+}
+
+std::vector<AggregateSpec> CountAndSum(int arg_slot) {
+  std::vector<AggregateSpec> specs(2);
+  specs[0].func = AggFunc::kCount;
+  specs[0].output_name = "cnt";
+  specs[1].func = AggFunc::kSum;
+  specs[1].arg = Slot(arg_slot);
+  specs[1].output_name = "sum";
+  return specs;
+}
+
+TEST(GroupByOpTest, GroupsAndAggregates) {
+  Table t = MakeTable("t", 2, {IntRow({1, 10}), IntRow({1, 20}),
+                               IntRow({2, 5})});
+  MiniPlan plan = UnaryPlan(
+      &t, std::make_unique<HashGroupByOp>(std::vector<int>{0},
+                                          CountAndSum(1), false));
+  auto rows = plan.Run();
+  EXPECT_TRUE(RowMultisetsEqual(
+      rows, {IntRow({1, 2, 30}), IntRow({2, 1, 5})}));
+}
+
+TEST(GroupByOpTest, ScalarModeEmitsOneRowOnEmptyInput) {
+  Table t = MakeTable("t", 2, {});
+  MiniPlan plan = UnaryPlan(
+      &t, std::make_unique<HashGroupByOp>(std::vector<int>{},
+                                          CountAndSum(1), true));
+  auto rows = plan.Run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].int64_value(), 0);   // count(∅) = 0
+  EXPECT_TRUE(rows[0][1].is_null());        // sum(∅) = NULL
+}
+
+TEST(GroupByOpTest, NonScalarModeEmitsNothingOnEmptyInput) {
+  Table t = MakeTable("t", 2, {});
+  MiniPlan plan = UnaryPlan(
+      &t, std::make_unique<HashGroupByOp>(std::vector<int>{0},
+                                          CountAndSum(1), false));
+  EXPECT_TRUE(plan.Run().empty());
+}
+
+TEST(BinaryGroupByTest, HashAndNLAgreeOnEquality) {
+  Table left = MakeTable("l", 1, {IntRow({1}), IntRow({2}), IntRow({9})});
+  Table right = MakeTable("r", 2, {IntRow({1, 10}), IntRow({1, 30}),
+                                   IntRow({2, 7})});
+  std::vector<AggregateSpec> aggs = CountAndSum(1);
+  MiniPlan hash = BinaryPlan(&left, &right,
+                             std::make_unique<BinaryGroupByHashOp>(
+                                 0, 0, std::vector<AggregateSpec>{
+                                           aggs[0].Clone(),
+                                           aggs[1].Clone()}));
+  MiniPlan nl = BinaryPlan(
+      &left, &right,
+      std::make_unique<BinaryGroupByNLOp>(
+          0, CompareOp::kEq, 0,
+          std::vector<AggregateSpec>{aggs[0].Clone(), aggs[1].Clone()}));
+  auto hash_rows = hash.Run();
+  EXPECT_TRUE(RowMultisetsEqual(hash_rows, nl.Run()));
+  // Empty groups must receive f(∅).
+  bool found_nine = false;
+  for (const Row& row : hash_rows) {
+    if (row[0].int64_value() == 9) {
+      found_nine = true;
+      EXPECT_EQ(row[1].int64_value(), 0);
+      EXPECT_TRUE(row[2].is_null());
+    }
+  }
+  EXPECT_TRUE(found_nine);
+}
+
+TEST(BinaryGroupByTest, NonEqualityGrouping) {
+  Table left = MakeTable("l", 1, {IntRow({2})});
+  Table right = MakeTable("r", 2, {IntRow({1, 10}), IntRow({2, 20}),
+                                   IntRow({3, 30})});
+  std::vector<AggregateSpec> aggs = CountAndSum(1);
+  MiniPlan plan = BinaryPlan(
+      &left, &right,
+      std::make_unique<BinaryGroupByNLOp>(
+          0, CompareOp::kGt, 0,
+          std::vector<AggregateSpec>{aggs[0].Clone(), aggs[1].Clone()}));
+  auto rows = plan.Run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].int64_value(), 1);   // only right key 1 < 2
+  EXPECT_EQ(rows[0][2].int64_value(), 10);
+}
+
+TEST(DistinctOpTest, KeepsFirstOccurrence) {
+  Table t = MakeTable("t", 1, {IntRow({1}), IntRow({1}), IntRow({2}),
+                               IntRow({1})});
+  MiniPlan plan = UnaryPlan(&t, std::make_unique<DistinctPhysOp>());
+  EXPECT_TRUE(
+      RowMultisetsEqual(plan.Run(), {IntRow({1}), IntRow({2})}));
+}
+
+TEST(DistinctOpTest, NullsDeduplicateStructurally) {
+  Table t("t", IntSchema({"c0"}));
+  ASSERT_TRUE(t.Append(Row{Value::Null()}).ok());
+  ASSERT_TRUE(t.Append(Row{Value::Null()}).ok());
+  MiniPlan plan = UnaryPlan(&t, std::make_unique<DistinctPhysOp>());
+  EXPECT_EQ(plan.Run().size(), 1u);
+}
+
+TEST(SortOpTest, SortsByKeysWithDirections) {
+  Table t = MakeTable("t", 2, {IntRow({1, 5}), IntRow({2, 5}),
+                               IntRow({0, 7})});
+  std::vector<PhysSortKey> keys;
+  keys.push_back(PhysSortKey{Slot(1), /*descending=*/true});
+  keys.push_back(PhysSortKey{Slot(0), /*descending=*/false});
+  MiniPlan plan =
+      UnaryPlan(&t, std::make_unique<SortPhysOp>(std::move(keys)));
+  auto rows = plan.Run();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].int64_value(), 0);  // 7 first (desc)
+  EXPECT_EQ(rows[1][0].int64_value(), 1);  // then 5s by c0 asc
+  EXPECT_EQ(rows[2][0].int64_value(), 2);
+}
+
+TEST(HashJoinOpTest, IntAndDoubleKeysMatchNumerically) {
+  // SQL: 2 = 2.0 is true, so hash keys must match across int64/double —
+  // Value::Hash is defined to make this work (TPC-H joins double money
+  // columns against aggregates that may come back as either type).
+  Table left("l", IntSchema({"c0"}));
+  ASSERT_TRUE(left.Append(Row{Value::Int64(2)}).ok());
+  Table right("r", IntSchema({"c0"}));
+  ASSERT_TRUE(right.Append(Row{Value::Double(2.0)}).ok());
+  ASSERT_TRUE(right.Append(Row{Value::Double(2.5)}).ok());
+  MiniPlan plan = BinaryPlan(
+      &left, &right,
+      std::make_unique<HashJoinOp>(std::vector<int>{0},
+                                   std::vector<int>{0}, nullptr));
+  auto rows = plan.Run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][1].double_value(), 2.0);
+}
+
+TEST(LimitPhysOpTest, StopsAfterCountAndCancels) {
+  std::vector<Row> data;
+  for (int i = 0; i < 100; ++i) data.push_back(IntRow({i}));
+  Table t = MakeTable("t", 1, std::move(data));
+  MiniPlan plan = UnaryPlan(&t, std::make_unique<LimitPhysOp>(3));
+  EXPECT_EQ(plan.Run().size(), 3u);
+  // Re-running must reset the counter.
+  EXPECT_EQ(plan.Run().size(), 3u);
+}
+
+TEST(OperatorStatsTest, EmittedRowsPerPort) {
+  Table t = MakeTable("t", 1, {IntRow({1}), IntRow({5}), IntRow({3})});
+  auto bypass_owner = std::make_unique<BypassFilterOp>(GtLit(0, 2));
+  BypassFilterOp* bypass = bypass_owner.get();
+  MiniPlan plan = UnaryPlan(&t, std::move(bypass_owner), kPortOut);
+  plan.Run();
+  EXPECT_EQ(bypass->rows_emitted(kPortOut), 2);
+  EXPECT_EQ(bypass->rows_emitted(kPortNegative), 1);
+}
+
+TEST(TimeoutTest, DeadlineAbortsScans) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 200000; ++i) rows.push_back(IntRow({i}));
+  Table big = MakeTable("big", 1, std::move(rows));
+  MiniPlan left_plan = BinaryPlan(
+      &big, &big, std::make_unique<NLJoinOp>(nullptr));
+  ExecContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));  // already expired
+  Status st = RunPlan(&left_plan.plan, &ctx);
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace bypass

@@ -1,0 +1,121 @@
+// Tests for the outlook-section extensions (paper Sec. 6.2):
+//   (1) linking AND correlation predicates both disjunctive,
+//   (3) quantified comparisons θ SOME/ANY/ALL.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+using testing_util::LoadSmallRst;
+
+TEST(QuantifiedCompareParseTest, SomeAnyAllForms) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM r WHERE a1 > SOME (SELECT b1 FROM s) "
+      "AND a2 <= ALL (SELECT b2 FROM s) AND a3 = ANY (SELECT b3 FROM s)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& conj = (*stmt)->where;
+  ASSERT_EQ(conj->kind, AstExprKind::kAnd);
+  EXPECT_EQ(conj->children[0]->kind, AstExprKind::kQuantified);
+  EXPECT_EQ(conj->children[0]->quantifier, AstQuantifier::kSome);
+  EXPECT_EQ(conj->children[1]->quantifier, AstQuantifier::kAll);
+  EXPECT_EQ(conj->children[2]->quantifier, AstQuantifier::kSome);
+}
+
+class QuantifiedCompareProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QuantifiedCompareProperty, CanonicalEqualsUnnested) {
+  const std::string theta = GetParam();
+  for (const char* quantifier : {"SOME", "ALL"}) {
+    const std::string sql =
+        "SELECT DISTINCT * FROM r WHERE a1 " + theta + " " + quantifier +
+        " (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 4";
+    Database db;
+    LoadSmallRst(&db, 311, 30, 40, 10);
+    QueryResult result = ExpectCanonicalEqualsUnnested(&db, sql);
+    EXPECT_FALSE(result.applied_rules.empty()) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, QuantifiedCompareProperty,
+                         ::testing::Values("=", "<>", "<", "<=", ">",
+                                           ">="));
+
+TEST(QuantifiedCompareTest, EmptySubquerySemantics) {
+  // ALL over an empty set is true; SOME over an empty set is false.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("r", RstTableSchema('a')).ok());
+  ASSERT_TRUE(db.CreateTable("s", RstTableSchema('b')).ok());
+  ASSERT_TRUE((*db.catalog()->GetTable("r"))
+                  ->Append(testing_util::IntRow({1, 2, 3, 4}))
+                  .ok());
+  auto all = db.Query(
+      "SELECT * FROM r WHERE a1 > ALL (SELECT b1 FROM s WHERE a2 = b2)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 1u);
+  auto some = db.Query(
+      "SELECT * FROM r WHERE a1 > SOME (SELECT b1 FROM s WHERE a2 = b2)");
+  ASSERT_TRUE(some.ok());
+  EXPECT_TRUE(some->rows.empty());
+}
+
+// Outlook item (1): linking and correlation predicate both disjunctive —
+// the composition of Eqv. 2/3 (outer) with Eqv. 4/5 (inner).
+class DoubleDisjunctionProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DoubleDisjunctionProperty, CanonicalEqualsUnnested) {
+  for (uint64_t seed : {411u, 412u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 25, 35, 10);
+    QueryResult result = ExpectCanonicalEqualsUnnested(&db, GetParam());
+    EXPECT_FALSE(result.applied_rules.empty()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, DoubleDisjunctionProperty,
+    ::testing::Values(
+        // Eqv. 2 outside, Eqv. 4 inside.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3) "
+        "   OR a4 > 4",
+        // Eqv. 2 outside, Eqv. 5 inside (DISTINCT aggregate).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(DISTINCT b3) FROM s "
+        "            WHERE a2 = b2 OR b4 > 3) "
+        "   OR a4 > 4",
+        // Two disjunctively-correlated subqueries in one disjunction.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 4) "
+        "   OR a3 = (SELECT COUNT(*) FROM t WHERE a4 = c2 OR c3 > 4)",
+        // Mixed: quantified + scalar + simple in one disjunction.
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM t WHERE a3 = c2 AND c4 > 4) "
+        "   OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3) "
+        "   OR a4 > 5"));
+
+TEST(DoubleDisjunctionTest, ComposesEqv2WithEqv4) {
+  Database db;
+  LoadSmallRst(&db, 500, 20, 20, 10);
+  auto result = db.Query(
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3) "
+      "   OR a4 > 4");
+  ASSERT_TRUE(result.ok());
+  bool has_eqv2 = false, has_eqv4 = false;
+  for (const std::string& rule : result->applied_rules) {
+    if (rule == "Eqv.2") has_eqv2 = true;
+    if (rule == "Eqv.4") has_eqv4 = true;
+  }
+  EXPECT_TRUE(has_eqv2) << "outer disjunction should use Eqv. 2";
+  EXPECT_TRUE(has_eqv4) << "inner disjunction should use Eqv. 4";
+}
+
+}  // namespace
+}  // namespace bypass

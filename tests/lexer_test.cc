@@ -1,0 +1,99 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace bypass {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  auto result = Tokenize(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEndToken) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersKeepOriginalCase) {
+  auto tokens = Lex("SeLeCt foo _bar9");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "SeLeCt");
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].text, "_bar9");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = Lex("42 3.5 .25 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  EXPECT_EQ(Tokenize("'oops").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("= <> != < <= > >=");
+  EXPECT_EQ(tokens[0].type, TokenType::kEq);
+  EXPECT_EQ(tokens[1].type, TokenType::kNe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kLt);
+  EXPECT_EQ(tokens[4].type, TokenType::kLe);
+  EXPECT_EQ(tokens[5].type, TokenType::kGt);
+  EXPECT_EQ(tokens[6].type, TokenType::kGe);
+}
+
+TEST(LexerTest, PunctuationAndArithmetic) {
+  auto tokens = Lex("( ) , . * + - / ;");
+  const TokenType expected[] = {
+      TokenType::kLParen, TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot,    TokenType::kStar,   TokenType::kPlus,
+      TokenType::kMinus,  TokenType::kSlash,  TokenType::kSemicolon};
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto tokens = Lex("a -- whole line ignored\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, PositionsPointAtTokenStarts) {
+  auto tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].position, 0);
+  EXPECT_EQ(tokens[1].position, 4);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_EQ(Tokenize("a # b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("!x").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, QualifiedNameLexesAsThreeTokens) {
+  auto tokens = Lex("r.a1");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[2].type, TokenType::kIdentifier);
+}
+
+}  // namespace
+}  // namespace bypass

@@ -1,0 +1,240 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bypass {
+namespace {
+
+SelectStmtPtr Parse(const std::string& sql) {
+  auto result = ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+  return result.ok() ? *result : nullptr;
+}
+
+TEST(ParserTest, MinimalSelectStar) {
+  auto stmt = Parse("SELECT * FROM r");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_FALSE(stmt->distinct);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_TRUE(stmt->items[0].is_star);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "r");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, DistinctAndMultipleTables) {
+  auto stmt = Parse("SELECT DISTINCT a, b FROM r, s alias1, t AS alias2");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->distinct);
+  ASSERT_EQ(stmt->from.size(), 3u);
+  EXPECT_EQ(stmt->from[1].alias, "alias1");
+  EXPECT_EQ(stmt->from[2].alias, "alias2");
+}
+
+TEST(ParserTest, SelectItemAliases) {
+  auto stmt = Parse("SELECT a AS x, b y, a + b FROM r");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_TRUE(stmt->items[2].alias.empty());
+  EXPECT_EQ(stmt->items[2].expr->kind, AstExprKind::kArith);
+}
+
+TEST(ParserTest, WherePrecedenceOrOverAnd) {
+  auto stmt = Parse("SELECT * FROM r WHERE a = 1 AND b = 2 OR c = 3");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kOr);
+  ASSERT_EQ(stmt->where->children.size(), 2u);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[1]->kind, AstExprKind::kCompare);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse("SELECT * FROM r WHERE a = 1 AND (b = 2 OR c = 3)");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[1]->kind, AstExprKind::kOr);
+}
+
+TEST(ParserTest, NotBindsTighterThanAnd) {
+  auto stmt = Parse("SELECT * FROM r WHERE NOT a = 1 AND b = 2");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExprKind::kNot);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = Parse("SELECT * FROM r WHERE a + b * 2 = 10");
+  const AstExprPtr& cmp = stmt->where;
+  ASSERT_EQ(cmp->kind, AstExprKind::kCompare);
+  const AstExprPtr& add = cmp->children[0];
+  ASSERT_EQ(add->kind, AstExprKind::kArith);
+  EXPECT_EQ(add->arith_op, AstArithOp::kAdd);
+  EXPECT_EQ(add->children[1]->kind, AstExprKind::kArith);
+  EXPECT_EQ(add->children[1]->arith_op, AstArithOp::kMul);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  const std::pair<const char*, CompareOp> cases[] = {
+      {"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+      {"!=", CompareOp::kNe}, {"<", CompareOp::kLt},
+      {"<=", CompareOp::kLe}, {">", CompareOp::kGt},
+      {">=", CompareOp::kGe}};
+  for (const auto& [op, expected] : cases) {
+    auto stmt = Parse(std::string("SELECT * FROM r WHERE a ") + op + " 1");
+    ASSERT_NE(stmt, nullptr);
+    EXPECT_EQ(stmt->where->compare_op, expected) << op;
+  }
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE a = (SELECT COUNT(*) FROM s WHERE b = c)");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kCompare);
+  const AstExprPtr& sq = stmt->where->children[1];
+  ASSERT_EQ(sq->kind, AstExprKind::kSubquery);
+  ASSERT_NE(sq->subquery, nullptr);
+  EXPECT_EQ(sq->subquery->items[0].expr->kind, AstExprKind::kAggCall);
+}
+
+TEST(ParserTest, AggregateCalls) {
+  auto stmt = Parse(
+      "SELECT COUNT(*), COUNT(DISTINCT *), SUM(a), AVG(b), MIN(c), "
+      "MAX(d), COUNT(DISTINCT e) FROM r");
+  ASSERT_EQ(stmt->items.size(), 7u);
+  EXPECT_EQ(stmt->items[0].expr->agg_name, "count");
+  EXPECT_FALSE(stmt->items[0].expr->distinct);
+  EXPECT_TRUE(stmt->items[0].expr->children.empty());
+  EXPECT_TRUE(stmt->items[1].expr->distinct);
+  EXPECT_EQ(stmt->items[2].expr->agg_name, "sum");
+  ASSERT_EQ(stmt->items[2].expr->children.size(), 1u);
+  EXPECT_TRUE(stmt->items[6].expr->distinct);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE EXISTS (SELECT * FROM s) "
+      "OR NOT EXISTS (SELECT * FROM t)");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kOr);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExprKind::kExists);
+  EXPECT_FALSE(stmt->where->children[0]->negated);
+  // NOT EXISTS parses as NOT(EXISTS) via the NOT production.
+  const AstExprPtr& second = stmt->where->children[1];
+  ASSERT_EQ(second->kind, AstExprKind::kNot);
+  EXPECT_EQ(second->children[0]->kind, AstExprKind::kExists);
+}
+
+TEST(ParserTest, InSubqueryAndNotIn) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE a IN (SELECT b FROM s) "
+      "AND c NOT IN (SELECT d FROM t)");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExprKind::kInSubquery);
+  EXPECT_FALSE(stmt->where->children[0]->negated);
+  EXPECT_EQ(stmt->where->children[1]->kind, AstExprKind::kInSubquery);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+}
+
+TEST(ParserTest, InValueList) {
+  auto stmt = Parse("SELECT * FROM r WHERE a IN (1, 2, 3)");
+  ASSERT_EQ(stmt->where->kind, AstExprKind::kInList);
+  EXPECT_EQ(stmt->where->children.size(), 4u);  // probe + 3 values
+}
+
+TEST(ParserTest, LikeNotLike) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE a LIKE '%x%' AND b NOT LIKE 'y_'");
+  const AstExprPtr& like = stmt->where->children[0];
+  ASSERT_EQ(like->kind, AstExprKind::kLike);
+  EXPECT_EQ(like->pattern, "%x%");
+  EXPECT_FALSE(like->negated);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+}
+
+TEST(ParserTest, IsNullIsNotNull) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE a IS NULL AND b IS NOT NULL");
+  EXPECT_EQ(stmt->where->children[0]->kind, AstExprKind::kIsNull);
+  EXPECT_FALSE(stmt->where->children[0]->negated);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+}
+
+TEST(ParserTest, OrderByDirections) {
+  auto stmt = Parse("SELECT * FROM r ORDER BY a DESC, b ASC, c");
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_FALSE(stmt->order_by[1].descending);
+  EXPECT_FALSE(stmt->order_by[2].descending);
+}
+
+TEST(ParserTest, NegativeNumberLiteralsFold) {
+  auto stmt = Parse("SELECT * FROM r WHERE a = -5");
+  const AstExprPtr& rhs = stmt->where->children[1];
+  ASSERT_EQ(rhs->kind, AstExprKind::kLiteral);
+  EXPECT_EQ(rhs->value.int64_value(), -5);
+}
+
+TEST(ParserTest, BooleanAndNullLiterals) {
+  auto stmt = Parse("SELECT * FROM r WHERE a = TRUE OR b = NULL");
+  EXPECT_TRUE(
+      stmt->where->children[0]->children[1]->value.bool_value());
+  EXPECT_TRUE(stmt->where->children[1]->children[1]->value.is_null());
+}
+
+TEST(ParserTest, QualifiedColumnRefs) {
+  auto stmt = Parse("SELECT r.a FROM r WHERE r.b = 1");
+  EXPECT_EQ(stmt->items[0].expr->qualifier, "r");
+  EXPECT_EQ(stmt->items[0].expr->name, "a");
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_NE(Parse("SELECT * FROM r;"), nullptr);
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  const char* bad[] = {
+      "",
+      "SELECT",
+      "SELECT * FROM",
+      "SELECT * FROM r WHERE",
+      "SELECT * FROM r WHERE a =",
+      "SELECT * FROM r extra garbage )",
+      "SELECT * FROM r WHERE a LIKE 5",
+      "SELECT * FROM r ORDER a",
+      "SELECT COUNT( FROM r",
+      "SELECT * FROM r WHERE a NOT 5",
+  };
+  for (const char* sql : bad) {
+    auto result = ParseSelect(sql);
+    EXPECT_FALSE(result.ok()) << sql;
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << sql;
+    }
+  }
+}
+
+TEST(ParserTest, DeeplyNestedSubqueries) {
+  auto stmt = Parse(
+      "SELECT * FROM r WHERE a = (SELECT COUNT(*) FROM s WHERE b = "
+      "(SELECT MAX(c) FROM t WHERE d = (SELECT MIN(e) FROM u)))");
+  ASSERT_NE(stmt, nullptr);
+  const AstExprPtr& level1 = stmt->where->children[1];
+  ASSERT_EQ(level1->kind, AstExprKind::kSubquery);
+  const AstExprPtr& level2 = level1->subquery->where->children[1];
+  ASSERT_EQ(level2->kind, AstExprKind::kSubquery);
+  const AstExprPtr& level3 = level2->subquery->where->children[1];
+  EXPECT_EQ(level3->kind, AstExprKind::kSubquery);
+}
+
+TEST(ParserTest, ToStringRoundTrip) {
+  const char* sql =
+      "SELECT DISTINCT * FROM r WHERE (a1 = (SELECT COUNT(DISTINCT *) "
+      "FROM s WHERE (a2 = b2)) OR (a4 > 1500))";
+  auto stmt = Parse(sql);
+  ASSERT_NE(stmt, nullptr);
+  // Printing and re-parsing must fixpoint.
+  auto reparsed = Parse(stmt->ToString());
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+}
+
+}  // namespace
+}  // namespace bypass

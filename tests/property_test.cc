@@ -1,0 +1,369 @@
+// Semantic property tests: the unnesting equivalences must produce
+// exactly the canonical results on randomized multiset instances — for
+// every linking operator θ ∈ {=, <>, <, <=, >, >=}, every aggregate
+// (including the non-decomposable DISTINCT variants), duplicates, empty
+// groups, NULLs, and forced orderings. This is the executable form of the
+// paper's correctness claims (Sec. 3.3–3.7).
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+using testing_util::LoadSmallRst;
+
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+const char* kThetas[] = {"=", "<>", "<", "<=", ">", ">="};
+const char* kAggregates[] = {"COUNT(*)",        "COUNT(b3)",
+                             "COUNT(DISTINCT *)", "COUNT(DISTINCT b3)",
+                             "SUM(b3)",          "SUM(DISTINCT b3)",
+                             "AVG(b3)",          "MIN(b3)",
+                             "MAX(b3)"};
+
+// ---------------------------------------------------------------------
+// Disjunctive linking (Eqv. 2/3): a1 θ (SELECT f FROM s WHERE a2 = b2)
+// OR a4 > 3, across all θ × f.
+// ---------------------------------------------------------------------
+class DisjunctiveLinkingProperty
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*>> {};
+
+TEST_P(DisjunctiveLinkingProperty, CanonicalEqualsUnnested) {
+  const auto& [theta, agg] = GetParam();
+  const std::string sql = ReplaceAll(
+      ReplaceAll("SELECT DISTINCT * FROM r "
+                 "WHERE a1 @THETA (SELECT @AGG FROM s WHERE a2 = b2) "
+                 "   OR a4 > 3",
+                 "@THETA", theta),
+      "@AGG", agg);
+  for (uint64_t seed : {11u, 12u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 35, 45, 10);
+    QueryResult result = ExpectCanonicalEqualsUnnested(&db, sql);
+    EXPECT_FALSE(result.applied_rules.empty()) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThetaAggCombinations, DisjunctiveLinkingProperty,
+    ::testing::Combine(::testing::ValuesIn(kThetas),
+                       ::testing::ValuesIn(kAggregates)));
+
+// ---------------------------------------------------------------------
+// Disjunctive correlation (Eqv. 4/5): a1 θ1 (SELECT f FROM s WHERE
+// a2 θ2 b2 OR b4 > 3), sweeping θ1 × f (θ2 = '=') and θ2 (f = COUNT).
+// ---------------------------------------------------------------------
+class DisjunctiveCorrelationProperty
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*>> {};
+
+TEST_P(DisjunctiveCorrelationProperty, CanonicalEqualsUnnested) {
+  const auto& [theta, agg] = GetParam();
+  const std::string sql = ReplaceAll(
+      ReplaceAll("SELECT DISTINCT * FROM r "
+                 "WHERE a1 @THETA (SELECT @AGG FROM s "
+                 "                 WHERE a2 = b2 OR b4 > 3)",
+                 "@THETA", theta),
+      "@AGG", agg);
+  for (uint64_t seed : {21u, 22u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 30, 40, 10);
+    QueryResult result = ExpectCanonicalEqualsUnnested(&db, sql);
+    // Decomposable aggregates take Eqv. 4, DISTINCT ones Eqv. 5; either
+    // way the block must be gone.
+    EXPECT_FALSE(result.applied_rules.empty()) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThetaAggCombinations, DisjunctiveCorrelationProperty,
+    ::testing::Combine(::testing::ValuesIn(kThetas),
+                       ::testing::ValuesIn(kAggregates)));
+
+class CorrelationOperatorProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorrelationOperatorProperty, NonEqualityCorrelationViaEqv5) {
+  const std::string sql = ReplaceAll(
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 @T2 b2 OR b4 > 4)",
+      "@T2", GetParam());
+  Database db;
+  LoadSmallRst(&db, 33, 25, 30, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(&db, sql);
+  EXPECT_FALSE(result.applied_rules.empty()) << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorrelationOperators,
+                         CorrelationOperatorProperty,
+                         ::testing::ValuesIn(kThetas));
+
+// Conjunctive correlation with non-equality θ2 (binary-grouping path).
+class ConjunctiveNonEqProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConjunctiveNonEqProperty, BinaryGroupingMatchesCanonical) {
+  const std::string sql = ReplaceAll(
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 @T2 b2)",
+      "@T2", GetParam());
+  Database db;
+  LoadSmallRst(&db, 44, 25, 30, 10);
+  ExpectCanonicalEqualsUnnested(&db, sql);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorrelationOperators, ConjunctiveNonEqProperty,
+                         ::testing::ValuesIn(kThetas));
+
+// ---------------------------------------------------------------------
+// NULL handling: the equivalences must agree with SQL 3VL when NULLs
+// occur in linking, correlation, and aggregated columns.
+// ---------------------------------------------------------------------
+class NullSemanticsProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NullSemanticsProperty, CanonicalEqualsUnnestedWithNulls) {
+  Database db;
+  LoadSmallRst(&db, 55, 35, 45, 10, /*null_fraction=*/0.2);
+  ExpectCanonicalEqualsUnnested(&db, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, NullSemanticsProperty,
+    ::testing::Values(
+        // Eqv. 1 with NULL correlation values (no join partner → f(∅)).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)",
+        // Eqv. 2 with NULLs in the simple predicate column.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3",
+        // Eqv. 2 with a sum (NULL on empty groups).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 < (SELECT SUM(b3) FROM s WHERE a2 = b2) OR a4 > 5",
+        // Eqv. 4: NULLs among the aggregated values and in b4.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(b3) FROM s WHERE a2 = b2 OR b4 > 3)",
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 <= (SELECT SUM(b3) FROM s WHERE a2 = b2 OR b4 > 3)",
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 >= (SELECT AVG(b3) FROM s WHERE a2 = b2 OR b4 > 3)",
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT MIN(b3) FROM s WHERE a2 = b2 OR b4 > 3)",
+        // Eqv. 5 with NULLs.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(DISTINCT b3) FROM s "
+        "            WHERE a2 = b2 OR b4 > 3)",
+        // EXISTS stays correct under NULLs (semijoin never matches NULL).
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 3"));
+
+// ---------------------------------------------------------------------
+// Tree and linear nesting across aggregates.
+// ---------------------------------------------------------------------
+class TreeLinearProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TreeLinearProperty, CanonicalEqualsUnnested) {
+  Database db;
+  LoadSmallRst(&db, 66, 20, 25, 25);
+  ExpectCanonicalEqualsUnnested(&db, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, TreeLinearProperty,
+    ::testing::Values(
+        // Tree: two linking subqueries in one disjunction (paper Q3).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) "
+        "   OR a3 = (SELECT COUNT(DISTINCT *) FROM t WHERE a4 = c2)",
+        // Tree with mixed aggregates and operators.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 < (SELECT SUM(b3) FROM s WHERE a2 = b2) "
+        "   OR a3 >= (SELECT MAX(c3) FROM t WHERE a4 = c2)",
+        // Tree with three disjuncts: two subqueries + simple predicate.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) "
+        "   OR a3 = (SELECT COUNT(*) FROM t WHERE a4 = c2) "
+        "   OR a4 > 5",
+        // Linear: subquery inside subquery (paper Q4).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2 "
+        "            OR b3 = (SELECT COUNT(DISTINCT *) FROM t "
+        "                     WHERE b4 = c2))",
+        // Linear with decomposable outer aggregate (Eqv. 5 still needed:
+        // p contains a subquery).
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 "
+        "            OR b3 = (SELECT MAX(c3) FROM t WHERE b4 = c2))",
+        // Conjunctive linking under the top, disjunctive below.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s "
+        "            WHERE b3 = (SELECT COUNT(*) FROM t WHERE b2 = c2) "
+        "               OR b4 > 4)"));
+
+// ---------------------------------------------------------------------
+// Quantified table subqueries in disjunctions (TR extension).
+// NULL-free data: the semi/anti-join rewrites assume two-valued
+// membership (documented restriction).
+// ---------------------------------------------------------------------
+class QuantifiedProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QuantifiedProperty, CanonicalEqualsUnnested) {
+  for (uint64_t seed : {77u, 78u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 35, 45, 30);
+    QueryResult result = ExpectCanonicalEqualsUnnested(&db, GetParam());
+    EXPECT_FALSE(result.applied_rules.empty()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, QuantifiedProperty,
+    ::testing::Values(
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM s WHERE a2 = b2 AND b4 > 4) "
+        "   OR a4 > 3",
+        "SELECT DISTINCT * FROM r "
+        "WHERE NOT EXISTS (SELECT * FROM s WHERE a2 = b2) OR a4 > 5",
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 IN (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 5",
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 NOT IN (SELECT b1 FROM s WHERE a2 = b2) OR a4 > 5",
+        // Uncorrelated IN with DISTINCT inside.
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 IN (SELECT DISTINCT b1 FROM s WHERE b4 > 4) "
+        "   OR a4 > 5",
+        // Non-equality correlation in the EXISTS block.
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM s WHERE a2 < b2 AND b4 > 5) "
+        "   OR a4 > 3",
+        // Two quantified disjuncts (tree-like cascade).
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM s WHERE a2 = b2 AND b4 > 4) "
+        "   OR EXISTS (SELECT * FROM t WHERE a3 = c2)"));
+
+// ---------------------------------------------------------------------
+// Forced orderings (Eqv. 2 vs Eqv. 3) must agree with each other and
+// with the canonical plan.
+// ---------------------------------------------------------------------
+TEST(OrderingProperty, AllDisjunctOrdersAgree) {
+  Database db;
+  LoadSmallRst(&db, 88, 40, 50, 10);
+  const char* sql =
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3";
+  QueryOptions canonical;
+  canonical.unnest = false;
+  auto base = db.Query(sql, canonical);
+  ASSERT_TRUE(base.ok());
+  for (DisjunctOrder order :
+       {DisjunctOrder::kByRank, DisjunctOrder::kSimpleFirst,
+        DisjunctOrder::kSubqueryFirst}) {
+    QueryOptions options;
+    options.rewrite.disjunct_order = order;
+    auto result = db.Query(sql, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(RowMultisetsEqual(base->rows, result->rows))
+        << "order=" << static_cast<int>(order);
+  }
+}
+
+// Duplicate semantics (paper Sec. 3.7): without DISTINCT the multiset
+// cardinalities must match exactly, including duplicated outer tuples.
+TEST(DuplicateSemanticsProperty, BagResultsMatchWithoutDistinct) {
+  for (uint64_t seed : {91u, 92u, 93u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 40, 40, 10);
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3");
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3)");
+  }
+}
+
+// Conjunctive quantified subqueries (no OR): single-branch semi/anti
+// joins, and aggregates over expressions.
+TEST(ConjunctivePositionsProperty, QuantifiedAndExprAggregates) {
+  for (uint64_t seed : {96u, 97u}) {
+    Database db;
+    LoadSmallRst(&db, seed, 30, 35, 25);
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT DISTINCT * FROM r "
+        "WHERE EXISTS (SELECT * FROM s WHERE a2 = b2 AND b4 > 3)");
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT DISTINCT * FROM r "
+        "WHERE NOT EXISTS (SELECT * FROM s WHERE a2 = b2)");
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 IN (SELECT b1 FROM s WHERE a2 = b2) AND a4 > 2");
+    // Aggregate over an expression, in both linking positions.
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 < (SELECT SUM(b3 + b4) FROM s WHERE a2 = b2) "
+        "   OR a4 > 3");
+    ExpectCanonicalEqualsUnnested(
+        &db,
+        "SELECT DISTINCT * FROM r "
+        "WHERE a1 = (SELECT COUNT(*) FROM s "
+        "            WHERE a2 = b2 OR b3 + b4 > 8)");
+  }
+}
+
+TEST(BetweenProperty, DesugarsAndUnnests) {
+  Database db;
+  LoadSmallRst(&db, 98, 30, 35, 10);
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) "
+      "   OR a4 BETWEEN 2 AND 4");
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r WHERE a4 NOT BETWEEN 2 AND 4");
+}
+
+// Larger-seed sweep of the flagship queries: cheap but broad.
+class SeedSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweepProperty, Q1AndQ2AgreeAcrossSeeds) {
+  Database db;
+  LoadSmallRst(&db, static_cast<uint64_t>(GetParam()), 30, 35, 10,
+               /*null_fraction=*/GetParam() % 3 == 0 ? 0.15 : 0.0);
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(DISTINCT *) FROM s WHERE a2 = b2) "
+      "   OR a4 > 3");
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT DISTINCT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepProperty,
+                         ::testing::Range(100, 120));
+
+}  // namespace
+}  // namespace bypass

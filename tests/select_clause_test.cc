@@ -1,0 +1,109 @@
+// Nesting in the SELECT clause (paper Sec. 1: "the generalization to
+// nesting in the select clause is straightforward"): scalar blocks in
+// projection items are unnested into $g columns via the same Eqv. 1/4/5
+// machinery.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+using testing_util::LoadSmallRst;
+
+TEST(SelectClauseTest, ScalarBlockAsProjectionItem) {
+  Database db;
+  LoadSmallRst(&db, 601, 30, 40, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r");
+  EXPECT_FALSE(result.applied_rules.empty());
+  ASSERT_EQ(result.schema.num_columns(), 2);
+  EXPECT_EQ(result.schema.column(1).name, "cnt");
+}
+
+TEST(SelectClauseTest, BlockInsideArithmetic) {
+  Database db;
+  LoadSmallRst(&db, 602, 25, 30, 10);
+  ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, a4 + (SELECT MAX(b3) FROM s WHERE a2 = b2) AS m "
+      "FROM r");
+}
+
+TEST(SelectClauseTest, TwoBlocksInOneSelectList) {
+  Database db;
+  LoadSmallRst(&db, 603, 20, 25, 25);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, "
+      "       (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cs, "
+      "       (SELECT SUM(c3) FROM t WHERE a3 = c2) AS st "
+      "FROM r");
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(SelectClauseTest, DisjunctivelyCorrelatedBlockInSelectList) {
+  Database db;
+  LoadSmallRst(&db, 604, 20, 30, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2 OR b4 > 3) AS g "
+      "FROM r");
+  ASSERT_FALSE(result.applied_rules.empty());
+  EXPECT_EQ(result.applied_rules[0], "Eqv.4");
+}
+
+TEST(SelectClauseTest, DistinctAggregateBlockUsesEqv5) {
+  Database db;
+  LoadSmallRst(&db, 605, 15, 20, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, (SELECT COUNT(DISTINCT b3) FROM s "
+      "            WHERE a2 = b2 OR b4 > 3) AS g FROM r");
+  ASSERT_FALSE(result.applied_rules.empty());
+  EXPECT_EQ(result.applied_rules[0], "Eqv.5");
+}
+
+TEST(SelectClauseTest, UncorrelatedBlockMaterializes) {
+  Database db;
+  LoadSmallRst(&db, 606, 10, 20, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db, "SELECT a1, (SELECT MIN(b3) FROM s) AS m FROM r");
+  ASSERT_FALSE(result.applied_rules.empty());
+  EXPECT_EQ(result.applied_rules[0], "TypeA");
+}
+
+TEST(SelectClauseTest, SelectListAndWhereBlocksTogether) {
+  Database db;
+  LoadSmallRst(&db, 607, 20, 25, 10);
+  QueryResult result = ExpectCanonicalEqualsUnnested(
+      &db,
+      "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a3 = b2) OR a4 > 4");
+  EXPECT_EQ(result.stats.subquery_executions, 0);
+}
+
+TEST(SelectClauseTest, DuplicateRowsKeepDistinctBlockValues) {
+  // Two identical outer tuples must both carry the block value; the
+  // unnested plan must not collapse them.
+  Database db;
+  ASSERT_TRUE(db.CreateTable("r", RstTableSchema('a')).ok());
+  ASSERT_TRUE(db.CreateTable("s", RstTableSchema('b')).ok());
+  Table* r = *db.catalog()->GetTable("r");
+  ASSERT_TRUE(r->Append(testing_util::IntRow({1, 2, 3, 4})).ok());
+  ASSERT_TRUE(r->Append(testing_util::IntRow({1, 2, 3, 4})).ok());
+  Table* s = *db.catalog()->GetTable("s");
+  ASSERT_TRUE(s->Append(testing_util::IntRow({9, 2, 9, 9})).ok());
+  auto result = db.Query(
+      "SELECT a1, (SELECT COUNT(*) FROM s WHERE a2 = b2) AS cnt FROM r");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][1].int64_value(), 1);
+  EXPECT_EQ(result->rows[1][1].int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace bypass

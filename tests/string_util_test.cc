@@ -1,0 +1,62 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bypass {
+namespace {
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.match)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"abc", "abc", true}, LikeCase{"abc", "abd", false},
+        LikeCase{"abc", "a_c", true}, LikeCase{"abc", "a_d", false},
+        LikeCase{"abc", "%", true}, LikeCase{"", "%", true},
+        LikeCase{"", "_", false}, LikeCase{"abc", "%c", true},
+        LikeCase{"abc", "a%", true}, LikeCase{"abc", "%b%", true},
+        LikeCase{"abc", "%d%", false},
+        LikeCase{"STANDARD POLISHED BRASS", "%BRASS", true},
+        LikeCase{"STANDARD POLISHED TIN", "%BRASS", false},
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"ac", "a%b%c", false},
+        LikeCase{"mississippi", "%iss%ppi", true},
+        LikeCase{"mississippi", "%iss%ippi%", true},
+        LikeCase{"abc", "___", true}, LikeCase{"abc", "____", false},
+        LikeCase{"aaa", "%a", true},
+        // backtracking stress: '%' must retry later positions
+        LikeCase{"aaaaab", "%ab", true},
+        LikeCase{"aaaaab", "%ac", false}));
+
+}  // namespace
+}  // namespace bypass

@@ -1,0 +1,94 @@
+// Shared helpers for the test suite: tiny-table builders, randomized RST
+// instances, and canonical-vs-unnested comparison harnesses.
+#ifndef BYPASSDB_TESTS_TEST_UTIL_H_
+#define BYPASSDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "workload/rst.h"
+
+namespace bypass {
+namespace testing_util {
+
+/// Builds an int64 schema from column names.
+inline Schema IntSchema(const std::vector<std::string>& names) {
+  Schema schema;
+  for (const std::string& n : names) {
+    schema.AddColumn({n, DataType::kInt64, ""});
+  }
+  return schema;
+}
+
+/// Convenience int row.
+inline Row IntRow(std::initializer_list<int64_t> values) {
+  Row row;
+  for (int64_t v : values) row.push_back(Value::Int64(v));
+  return row;
+}
+
+/// Loads small random R/S/T tables with duplicates and tight domains so
+/// that empty groups, multi-row groups, and duplicate outer rows all
+/// occur. `null_fraction` injects NULLs into a2/b2/b3/b4 columns.
+inline void LoadSmallRst(Database* db, uint64_t seed, int rows_r,
+                         int rows_s, int rows_t,
+                         double null_fraction = 0.0) {
+  Rng rng(seed);
+  auto load = [&](const std::string& name, char prefix, int rows) {
+    if (db->catalog()->HasTable(name)) {
+      ASSERT_TRUE(db->catalog()->DropTable(name).ok());
+    }
+    auto table = db->CreateTable(name, RstTableSchema(prefix));
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    std::vector<Row> data;
+    for (int i = 0; i < rows; ++i) {
+      Row row;
+      for (int c = 1; c <= 4; ++c) {
+        if (null_fraction > 0 && rng.Bernoulli(null_fraction)) {
+          row.push_back(Value::Null());
+        } else {
+          // Tight domains: lots of duplicates and group collisions.
+          row.push_back(Value::Int64(rng.UniformInt(0, 6)));
+        }
+      }
+      data.push_back(std::move(row));
+    }
+    ASSERT_TRUE((*table)->AppendUnchecked(std::move(data)).ok());
+  };
+  load("r", 'a', rows_r);
+  load("s", 'b', rows_s);
+  load("t", 'c', rows_t);
+}
+
+/// Runs `sql` canonically and unnested and asserts multiset-equal results.
+/// Returns the unnested result for further inspection.
+inline QueryResult ExpectCanonicalEqualsUnnested(Database* db,
+                                                 const std::string& sql) {
+  QueryOptions canonical;
+  canonical.unnest = false;
+  auto base = db->Query(sql, canonical);
+  EXPECT_TRUE(base.ok()) << base.status().ToString() << "\nsql: " << sql;
+
+  QueryOptions unnested;
+  unnested.unnest = true;
+  auto opt = db->Query(sql, unnested);
+  EXPECT_TRUE(opt.ok()) << opt.status().ToString() << "\nsql: " << sql;
+  if (!base.ok() || !opt.ok()) return QueryResult{};
+
+  EXPECT_TRUE(RowMultisetsEqual(base->rows, opt->rows))
+      << "canonical and unnested plans disagree\nsql: " << sql
+      << "\ncanonical rows: " << base->rows.size()
+      << "\nunnested rows: " << opt->rows.size() << "\nunnested plan:\n"
+      << opt->optimized_plan;
+  return std::move(*opt);
+}
+
+}  // namespace testing_util
+}  // namespace bypass
+
+#endif  // BYPASSDB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,132 @@
+// TPC-H-flavoured end-to-end queries: exercises the engine on the
+// realistic multi-table schema (string predicates, money columns, grouped
+// analytics, and the paper's Query 2d family).
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+#include "workload/tpch.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::ExpectCanonicalEqualsUnnested;
+
+class TpchQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpchOptions options;
+    options.scale_factor = 0.003;
+    options.include_sales = true;
+    options.seed = 99;
+    ASSERT_TRUE(LoadTpch(&db_, options).ok());
+  }
+  Database db_;
+};
+
+TEST_F(TpchQueriesTest, Query2dMatchesAcrossStrategies) {
+  ExpectCanonicalEqualsUnnested(&db_, TpchQuery2d());
+}
+
+TEST_F(TpchQueriesTest, Query2dOrderingIsDeterministic) {
+  auto a = db_.Query(TpchQuery2d());
+  auto b = db_.Query(TpchQuery2d());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->rows.size(), b->rows.size());
+  for (size_t i = 0; i < a->rows.size(); ++i) {
+    EXPECT_TRUE(RowsStructurallyEqual(a->rows[i], b->rows[i]));
+  }
+  // ORDER BY s_acctbal DESC must hold.
+  for (size_t i = 1; i < a->rows.size(); ++i) {
+    EXPECT_GE(a->rows[i - 1][0].AsDouble(), a->rows[i][0].AsDouble());
+  }
+}
+
+TEST_F(TpchQueriesTest, Query2dSubsumesQuery2) {
+  // Every Q2 (conjunctive) answer also satisfies Q2d (its disjunctive
+  // relaxation).
+  auto q2 = db_.Query(TpchQuery2());
+  auto q2d = db_.Query(TpchQuery2d());
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(q2d.ok());
+  EXPECT_LE(q2->rows.size(), q2d->rows.size());
+  for (const Row& needle : q2->rows) {
+    bool found = false;
+    for (const Row& hay : q2d->rows) {
+      if (RowsStructurallyEqual(needle, hay)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << RowToString(needle);
+  }
+}
+
+TEST_F(TpchQueriesTest, GroupedRevenuePerNation) {
+  auto result = db_.Query(
+      "SELECT n_name, COUNT(*) AS suppliers, AVG(s_acctbal) AS bal "
+      "FROM supplier, nation WHERE s_nationkey = n_nationkey "
+      "GROUP BY n_name ORDER BY suppliers DESC, n_name");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  int64_t total = 0;
+  for (const Row& row : result->rows) {
+    total += row[1].int64_value();
+  }
+  EXPECT_EQ(total, (*db_.catalog()->GetTable("supplier"))->num_rows());
+}
+
+TEST_F(TpchQueriesTest, SuppliersAboveTheirNationsAverage) {
+  // Correlated scalar subquery over a self-join pair of aliases.
+  ExpectCanonicalEqualsUnnested(
+      &db_,
+      "SELECT s_suppkey FROM supplier x "
+      "WHERE s_acctbal > (SELECT AVG(y.s_acctbal) FROM supplier y "
+      "                   WHERE y.s_nationkey = x.s_nationkey)");
+}
+
+TEST_F(TpchQueriesTest, DisjunctiveQuantifiedOverSales) {
+  ExpectCanonicalEqualsUnnested(
+      &db_,
+      "SELECT DISTINCT c_custkey FROM customer "
+      "WHERE EXISTS (SELECT * FROM orders "
+      "              WHERE o_custkey = c_custkey "
+      "                AND o_totalprice > 200000) "
+      "   OR c_acctbal > 9000");
+}
+
+TEST_F(TpchQueriesTest, LineitemRollupWithHaving) {
+  auto result = db_.Query(
+      "SELECT l_orderkey, SUM(l_quantity) AS q FROM lineitem "
+      "GROUP BY l_orderkey HAVING SUM(l_quantity) > 150 "
+      "ORDER BY q DESC LIMIT 10");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->rows.size(), 10u);
+  for (const Row& row : result->rows) {
+    EXPECT_GT(row[1].int64_value(), 150);
+  }
+}
+
+TEST_F(TpchQueriesTest, StringPredicatesOnPart) {
+  auto brass = db_.Query(
+      "SELECT COUNT(*) FROM part WHERE p_type LIKE '%BRASS'");
+  auto all = db_.Query("SELECT COUNT(*) FROM part");
+  ASSERT_TRUE(brass.ok());
+  ASSERT_TRUE(all.ok());
+  const int64_t brass_count = brass->rows[0][0].int64_value();
+  const int64_t total = all->rows[0][0].int64_value();
+  EXPECT_GT(brass_count, 0);
+  EXPECT_LT(brass_count, total / 2);  // ≈ 1/5 of parts
+}
+
+TEST_F(TpchQueriesTest, InSubqueryOverRegionNames) {
+  ExpectCanonicalEqualsUnnested(
+      &db_,
+      "SELECT DISTINCT n_name FROM nation "
+      "WHERE n_regionkey IN (SELECT r_regionkey FROM region "
+      "                      WHERE r_name = 'EUROPE') "
+      "   OR n_name = 'JAPAN'");
+}
+
+}  // namespace
+}  // namespace bypass

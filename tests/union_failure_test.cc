@@ -1,0 +1,138 @@
+// SQL UNION / UNION ALL semantics, plus failure-injection tests: runtime
+// errors must surface as Status through every layer (including from
+// inside re-executed nested blocks).
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace bypass {
+namespace {
+
+using testing_util::IntRow;
+using testing_util::LoadSmallRst;
+
+class UnionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable("r", RstTableSchema('a')).ok());
+    ASSERT_TRUE(db_.CreateTable("s", RstTableSchema('b')).ok());
+    Table* r = *db_.catalog()->GetTable("r");
+    ASSERT_TRUE(r->Append(IntRow({1, 0, 0, 0})).ok());
+    ASSERT_TRUE(r->Append(IntRow({2, 0, 0, 0})).ok());
+    Table* s = *db_.catalog()->GetTable("s");
+    ASSERT_TRUE(s->Append(IntRow({2, 0, 0, 0})).ok());
+    ASSERT_TRUE(s->Append(IntRow({3, 0, 0, 0})).ok());
+  }
+  Database db_;
+};
+
+TEST_F(UnionTest, UnionAllKeepsDuplicates) {
+  auto result =
+      db_.Query("SELECT a1 FROM r UNION ALL SELECT b1 FROM s");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(RowMultisetsEqual(
+      result->rows,
+      {IntRow({1}), IntRow({2}), IntRow({2}), IntRow({3})}));
+}
+
+TEST_F(UnionTest, PlainUnionEliminatesDuplicates) {
+  auto result = db_.Query("SELECT a1 FROM r UNION SELECT b1 FROM s");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(RowMultisetsEqual(
+      result->rows, {IntRow({1}), IntRow({2}), IntRow({3})}));
+}
+
+TEST_F(UnionTest, ThreeWayChain) {
+  auto result = db_.Query(
+      "SELECT a1 FROM r UNION ALL SELECT b1 FROM s "
+      "UNION ALL SELECT a1 FROM r");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 6u);
+}
+
+TEST_F(UnionTest, ArityMismatchRejected) {
+  EXPECT_EQ(
+      db_.Query("SELECT a1 FROM r UNION ALL SELECT b1, b2 FROM s")
+          .status()
+          .code(),
+      StatusCode::kBindError);
+}
+
+TEST_F(UnionTest, BranchesMayContainSubqueries) {
+  Database db;
+  LoadSmallRst(&db, 950, 20, 25, 10);
+  const char* sql =
+      "SELECT a1 FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 3 "
+      "UNION ALL SELECT b1 FROM s WHERE b4 > 5";
+  QueryOptions canonical;
+  canonical.unnest = false;
+  auto base = db.Query(sql, canonical);
+  auto opt = db.Query(sql);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_TRUE(RowMultisetsEqual(base->rows, opt->rows));
+  EXPECT_FALSE(opt->applied_rules.empty());
+}
+
+// ---- failure injection ----
+
+TEST(FailureTest, DivisionByZeroSurfaces) {
+  Database db;
+  LoadSmallRst(&db, 951, 5, 5, 5);
+  auto result = db.Query("SELECT a1 / (a2 - a2) FROM r");
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(FailureTest, ErrorInsideNestedBlockSurfaces) {
+  Database db;
+  LoadSmallRst(&db, 952, 5, 5, 5);
+  QueryOptions canonical;
+  canonical.unnest = false;
+  auto result = db.Query(
+      "SELECT * FROM r "
+      "WHERE a1 = (SELECT SUM(b1 / (b2 - b2)) FROM s WHERE a2 = b2)",
+      canonical);
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(FailureTest, ErrorInUnnestedPlanSurfaces) {
+  Database db;
+  LoadSmallRst(&db, 953, 5, 5, 5);
+  auto result = db.Query(
+      "SELECT * FROM r "
+      "WHERE a1 = (SELECT SUM(b1 / (b2 - b2)) FROM s WHERE a2 = b2)");
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(FailureTest, TimeoutInsideSubplanSurfaces) {
+  Database db;
+  RstOptions opts;
+  opts.rows_per_sf = 3000;
+  ASSERT_TRUE(LoadRst(&db, 1, 1, 1, opts).ok());
+  QueryOptions options;
+  options.unnest = false;
+  options.shortcut_disjunctions = false;
+  options.timeout = std::chrono::milliseconds(1);
+  auto result = db.Query(
+      "SELECT * FROM r "
+      "WHERE a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2) OR a4 > 1500",
+      options);
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST(FailureTest, ArithmeticOnStringsSurfaces) {
+  Database db;
+  Schema schema;
+  schema.AddColumn({"name", DataType::kString, ""});
+  ASSERT_TRUE(db.CreateTable("t", schema).ok());
+  ASSERT_TRUE((*db.catalog()->GetTable("t"))
+                  ->Append(Row{Value::String("x")})
+                  .ok());
+  auto result = db.Query("SELECT name + 1 FROM t");
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace bypass

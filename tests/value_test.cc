@@ -1,0 +1,191 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace bypass {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int64());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int64(3).is_int64());
+  EXPECT_TRUE(Value::Double(2.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_EQ(Value::Int64(3).type(), DataType::kInt64);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+}
+
+TEST(ValueTest, NumericIncludesBothIntAndDouble) {
+  EXPECT_TRUE(Value::Int64(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::Bool(true).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("abc").ToString(), "'abc'");
+}
+
+// --- SQL comparison (three-valued logic) ---
+
+TEST(ValueCompareTest, NullOperandYieldsUnknown) {
+  EXPECT_EQ(Value::Null().Compare(CompareOp::kEq, Value::Int64(1)),
+            TriBool::kUnknown);
+  EXPECT_EQ(Value::Int64(1).Compare(CompareOp::kLt, Value::Null()),
+            TriBool::kUnknown);
+  EXPECT_EQ(Value::Null().Compare(CompareOp::kNe, Value::Null()),
+            TriBool::kUnknown);
+}
+
+TEST(ValueCompareTest, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(Value::Int64(2).Compare(CompareOp::kEq, Value::Double(2.0)),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::Double(1.5).Compare(CompareOp::kLt, Value::Int64(2)),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::Int64(3).Compare(CompareOp::kLe, Value::Double(2.5)),
+            TriBool::kFalse);
+}
+
+TEST(ValueCompareTest, Strings) {
+  EXPECT_EQ(Value::String("abc").Compare(CompareOp::kLt,
+                                         Value::String("abd")),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::String("abc").Compare(CompareOp::kEq,
+                                         Value::String("abc")),
+            TriBool::kTrue);
+}
+
+TEST(ValueCompareTest, TypeMismatchIsUnknown) {
+  EXPECT_EQ(Value::String("1").Compare(CompareOp::kEq, Value::Int64(1)),
+            TriBool::kUnknown);
+  EXPECT_EQ(Value::Bool(true).Compare(CompareOp::kEq, Value::Int64(1)),
+            TriBool::kUnknown);
+}
+
+struct CompareCase {
+  CompareOp op;
+  int64_t left;
+  int64_t right;
+  TriBool expected;
+};
+
+class CompareOpTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareOpTest, IntComparisons) {
+  const CompareCase& c = GetParam();
+  EXPECT_EQ(Value::Int64(c.left).Compare(c.op, Value::Int64(c.right)),
+            c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, CompareOpTest,
+    ::testing::Values(
+        CompareCase{CompareOp::kEq, 1, 1, TriBool::kTrue},
+        CompareCase{CompareOp::kEq, 1, 2, TriBool::kFalse},
+        CompareCase{CompareOp::kNe, 1, 2, TriBool::kTrue},
+        CompareCase{CompareOp::kNe, 2, 2, TriBool::kFalse},
+        CompareCase{CompareOp::kLt, 1, 2, TriBool::kTrue},
+        CompareCase{CompareOp::kLt, 2, 2, TriBool::kFalse},
+        CompareCase{CompareOp::kLe, 2, 2, TriBool::kTrue},
+        CompareCase{CompareOp::kLe, 3, 2, TriBool::kFalse},
+        CompareCase{CompareOp::kGt, 3, 2, TriBool::kTrue},
+        CompareCase{CompareOp::kGt, 2, 2, TriBool::kFalse},
+        CompareCase{CompareOp::kGe, 2, 2, TriBool::kTrue},
+        CompareCase{CompareOp::kGe, 1, 2, TriBool::kFalse}));
+
+class FlipNegateTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(FlipNegateTest, FlipIsAnInvolutionConsistentWithSemantics) {
+  const CompareOp op = GetParam();
+  const CompareOp flipped = FlipCompareOp(op);
+  EXPECT_EQ(FlipCompareOp(flipped), op);
+  // a op b == b flip(op) a, for all pairs in a small grid.
+  for (int64_t a = -2; a <= 2; ++a) {
+    for (int64_t b = -2; b <= 2; ++b) {
+      EXPECT_EQ(Value::Int64(a).Compare(op, Value::Int64(b)),
+                Value::Int64(b).Compare(flipped, Value::Int64(a)))
+          << CompareOpToString(op) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(FlipNegateTest, NegateComplementsOnNonNull) {
+  const CompareOp op = GetParam();
+  const CompareOp negated = NegateCompareOp(op);
+  for (int64_t a = -2; a <= 2; ++a) {
+    for (int64_t b = -2; b <= 2; ++b) {
+      const TriBool orig = Value::Int64(a).Compare(op, Value::Int64(b));
+      const TriBool neg = Value::Int64(a).Compare(negated, Value::Int64(b));
+      EXPECT_EQ(orig, TriNot(neg));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperators, FlipNegateTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt,
+                                           CompareOp::kGe));
+
+// --- TriBool algebra ---
+
+TEST(TriBoolTest, NotTruthTable) {
+  EXPECT_EQ(TriNot(TriBool::kTrue), TriBool::kFalse);
+  EXPECT_EQ(TriNot(TriBool::kFalse), TriBool::kTrue);
+  EXPECT_EQ(TriNot(TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, AndTruthTable) {
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kTrue), TriBool::kTrue);
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriAnd(TriBool::kFalse, TriBool::kUnknown), TriBool::kFalse);
+  EXPECT_EQ(TriAnd(TriBool::kUnknown, TriBool::kUnknown),
+            TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, OrTruthTable) {
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(TriOr(TriBool::kTrue, TriBool::kUnknown), TriBool::kTrue);
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriOr(TriBool::kUnknown, TriBool::kUnknown),
+            TriBool::kUnknown);
+}
+
+// --- Total order & hashing (grouping semantics) ---
+
+TEST(OrderCompareTest, NullEqualsNullAndSortsFirst) {
+  EXPECT_EQ(Value::Null().OrderCompare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().OrderCompare(Value::Int64(-100)), 0);
+  EXPECT_GT(Value::Int64(0).OrderCompare(Value::Null()), 0);
+}
+
+TEST(OrderCompareTest, MixedNumericsOrderByValue) {
+  EXPECT_LT(Value::Int64(1).OrderCompare(Value::Double(1.5)), 0);
+  EXPECT_EQ(Value::Int64(2).OrderCompare(Value::Double(2.0)), 0);
+}
+
+TEST(HashTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Int64(5).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // int64 and double representing the same number compare equal under
+  // OrderCompare, so they must hash alike (hash-join correctness).
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(HashTest, StructuralEqualityMatchesOrderCompare) {
+  EXPECT_TRUE(Value::Null().StructurallyEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().StructurallyEquals(Value::Int64(0)));
+  EXPECT_TRUE(Value::Int64(1).StructurallyEquals(Value::Double(1.0)));
+}
+
+}  // namespace
+}  // namespace bypass
