@@ -37,7 +37,8 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   return it == values_.end() ? def : std::atoll(it->second.c_str());
 }
 
-std::vector<Strategy> StudyStrategies(double timeout_seconds) {
+std::vector<Strategy> StudyStrategies(double timeout_seconds,
+                                      size_t batch_size) {
   const auto timeout = std::chrono::milliseconds(
       static_cast<int64_t>(timeout_seconds * 1000));
   std::vector<Strategy> strategies;
@@ -63,6 +64,7 @@ std::vector<Strategy> StudyStrategies(double timeout_seconds) {
   for (Strategy* s : {&s1, &s2, &s3, &s4}) {
     s->options.timeout = timeout;
     s->options.collect_plans = false;
+    s->options.batch_size = batch_size;
     strategies.push_back(*s);
   }
   return strategies;

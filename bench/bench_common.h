@@ -36,7 +36,10 @@ struct Strategy {
 };
 
 /// The four strategies, with the given per-cell timeout applied to all.
-std::vector<Strategy> StudyStrategies(double timeout_seconds);
+/// `batch_size` overrides the executor's rows-per-batch (1 reproduces the
+/// old row-at-a-time engine; useful for before/after comparisons).
+std::vector<Strategy> StudyStrategies(double timeout_seconds,
+                                      size_t batch_size = kDefaultBatchSize);
 
 /// Runs one cell; returns formatted seconds, or "n/a" on timeout, or
 /// "ERR(<code>)" on failure. `rows_out`, if set, receives the result

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# PR benchmark suite: runs the selection microbenchmarks and the Q2d
+# end-to-end harness (median-of-5 each) and writes BENCH_PR1.json with
+# the measured medians plus speedups against the row-at-a-time seed.
+#
+# Usage: bench/run_benchmarks.sh [build-dir]
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR1.json)
+#
+# Seed baselines were measured on the same machine at the seed commit
+# (634af06, row-at-a-time execution) with the identical protocol:
+# bench_operators --benchmark_repetitions=5 medians and five bench_q2d
+# --quick runs.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR1.json}
+OPS=${BUILD_DIR}/bench/bench_operators
+Q2D=${BUILD_DIR}/bench/bench_q2d
+
+[[ -x ${OPS} && -x ${Q2D} ]] || {
+  echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
+  exit 1
+}
+
+echo "== bench_operators (median of 5 repetitions) =="
+OPS_JSON=$(mktemp)
+"${OPS}" --benchmark_filter='PlainSelection|BypassSelection' \
+  --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json 2>/dev/null >"${OPS_JSON}"
+
+echo "== bench_q2d --quick (5 runs) =="
+Q2D_TXT=$(mktemp)
+for i in 1 2 3 4 5; do
+  "${Q2D}" --quick 2>/dev/null | tail -4 >>"${Q2D_TXT}"
+done
+
+python3 - "${OPS_JSON}" "${Q2D_TXT}" "${OUT}" <<'EOF'
+import json
+import statistics
+import sys
+
+ops_json, q2d_txt, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# Medians measured at the seed commit (see header comment).
+SEED = {
+    "BM_PlainSelection": 2.794,
+    "BM_BypassSelectionViaDisjunction": 8.751,
+    "q2d": {"canonical-noshort": 40.0, "canonical-memo": 14.0,
+            "canonical": 14.0, "unnested": 7.0},
+}
+
+report = {"benchmark": "BENCH_PR1", "protocol": "median-of-5",
+          "batch_size": 1024, "operators": {}, "q2d_quick_sf0.01": {}}
+
+with open(ops_json) as f:
+    for b in json.load(f)["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        name = b["run_name"]
+        ms = b["real_time"] / 1e6  # reported in ns
+        entry = {"median_ms": round(ms, 3), "seed_median_ms": SEED[name],
+                 "speedup_vs_seed": round(SEED[name] / ms, 2)}
+        report["operators"][name] = entry
+
+runs = {}
+with open(q2d_txt) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) == 2 and parts[1].endswith("ms"):
+            runs.setdefault(parts[0], []).append(float(parts[1][:-2]))
+for strategy, times in runs.items():
+    ms = statistics.median(times)
+    seed_ms = SEED["q2d"][strategy]
+    report["q2d_quick_sf0.01"][strategy] = {
+        "median_ms": ms, "seed_median_ms": seed_ms,
+        "speedup_vs_seed": round(seed_ms / ms, 2)}
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+print(f"\nwrote {out_path}")
+EOF
+
+rm -f "${OPS_JSON}" "${Q2D_TXT}"

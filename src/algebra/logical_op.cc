@@ -366,7 +366,12 @@ GroupByOp::GroupByOp(LogicalInput input, std::vector<GroupKey> keys,
   for (const GroupKey& k : keys_) {
     auto slot = in.FindColumn(k.qualifier, k.name);
     BYPASS_CHECK_MSG(slot.ok(), "group key not found in input schema");
-    out.AddColumn(in.column(*slot));
+    ColumnDef col = in.column(*slot);
+    if (!k.output_alias.empty()) {
+      col.name = k.output_alias;
+      col.qualifier.clear();
+    }
+    out.AddColumn(col);
   }
   for (const AggregateSpec& a : aggregates_) {
     out.AddColumn({a.output_name, AggOutputType(a, in), ""});
@@ -378,8 +383,10 @@ std::string GroupByOp::Label() const {
   std::vector<std::string> key_strs;
   key_strs.reserve(keys_.size());
   for (const GroupKey& k : keys_) {
-    key_strs.push_back(k.qualifier.empty() ? k.name
-                                           : k.qualifier + "." + k.name);
+    std::string s =
+        k.qualifier.empty() ? k.name : k.qualifier + "." + k.name;
+    if (!k.output_alias.empty()) s = k.output_alias + " := " + s;
+    key_strs.push_back(std::move(s));
   }
   std::vector<std::string> agg_strs;
   agg_strs.reserve(aggregates_.size());

@@ -313,6 +313,11 @@ class AntiJoinOp : public LogicalOp {
 struct GroupKey {
   std::string qualifier;
   std::string name;
+  /// When non-empty, the key column is renamed to this (with no
+  /// qualifier) in the group output schema. Lets rewrites key directly
+  /// on an input column without a χ materializing a copy of it, while
+  /// still hiding the inner column name from downstream consumers.
+  std::string output_alias;
 };
 
 /// Unary grouping Γ_{g;=A;f}. With `scalar` set (empty keys), emits

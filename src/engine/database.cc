@@ -109,13 +109,14 @@ Result<QueryResult> Database::Query(const std::string& sql,
 
   ExecContext ctx;
   ctx.set_stats(&result.stats);
+  ctx.set_batch_size(options.batch_size);
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (options.timeout.has_value()) {
     deadline = std::chrono::steady_clock::now() + *options.timeout;
     ctx.set_deadline(*deadline);
   }
   for (ExecSubplan* subplan : plan.subplans) {
-    subplan->Configure(deadline, &result.stats);
+    subplan->Configure(deadline, &result.stats, ctx.batch_size());
   }
 
   const auto exec_start = std::chrono::steady_clock::now();

@@ -44,6 +44,9 @@ struct QueryOptions {
   RewriteOptions rewrite;
   /// Record plan strings in the result (small cost; on by default).
   bool collect_plans = true;
+  /// Rows per batch flowing between physical operators. 1 degenerates to
+  /// row-at-a-time execution (useful as a differential-testing oracle).
+  size_t batch_size = kDefaultBatchSize;
 };
 
 struct QueryResult {

@@ -2,9 +2,14 @@
 
 namespace bypass {
 
-Status DistinctPhysOp::Consume(int, Row row) {
-  if (!seen_.insert(row).second) return Status::OK();
-  return Emit(kPortOut, std::move(row));
+Status DistinctPhysOp::Consume(int, RowBatch batch) {
+  std::vector<uint32_t>& sel = batch.selection();
+  size_t kept = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (seen_.insert(batch.row(i)).second) sel[kept++] = sel[i];
+  }
+  sel.resize(kept);
+  return Emit(kPortOut, std::move(batch));
 }
 
 }  // namespace bypass

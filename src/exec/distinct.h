@@ -14,7 +14,7 @@ class DistinctPhysOp : public UnaryPhysOp {
   DistinctPhysOp() = default;
 
   void Reset() override { seen_.clear(); }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override { return "Distinct"; }
 
  private:

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "types/row.h"
+#include "types/row_batch.h"
 
 namespace bypass {
 
@@ -50,7 +51,13 @@ class ExecContext {
   ExecStats* stats() { return stats_; }
   void set_stats(ExecStats* stats) { stats_ = stats; }
 
-  /// Cheap periodic budget check; call every few thousand rows.
+  /// Rows per batch flowing between operators. 1 degenerates to the
+  /// original row-at-a-time execution (the differential-test oracle).
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Cheap periodic budget check; called once per batch by sources and
+  /// every few thousand pairs inside nested-loop operators.
   Status CheckBudget() const {
     if (has_deadline_ &&
         std::chrono::steady_clock::now() > deadline_) {
@@ -66,6 +73,7 @@ class ExecContext {
 
  private:
   const Row* outer_row_ = nullptr;
+  size_t batch_size_ = kDefaultBatchSize;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
   bool cancelled_ = false;

@@ -22,10 +22,12 @@ std::string PhysicalPlan::StatsString() const {
   os << "operator rows (last execution):\n";
   for (const PhysOpPtr& op : ops) {
     os << "  " << op->Label() << ": " << op->rows_emitted(0);
+    int64_t batches = op->batches_emitted(0);
     if (op->num_out_ports() > 1) {
       os << " [+], " << op->rows_emitted(1) << " [-]";
+      batches += op->batches_emitted(1);
     }
-    os << "\n";
+    os << " rows (" << batches << " batches)\n";
   }
   return os.str();
 }

@@ -2,24 +2,27 @@
 
 namespace bypass {
 
-Status FilterOp::Consume(int, Row row) {
-  EvalContext ectx{&row, ctx_->outer_row()};
-  BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
-  if (ValueToTriBool(v) == TriBool::kTrue) {
-    return Emit(kPortOut, std::move(row));
-  }
-  return Status::OK();
+Status FilterOp::Consume(int, RowBatch batch) {
+  sel_true_.clear();
+  BYPASS_RETURN_IF_ERROR(predicate_->PartitionBatch(
+      batch, ctx_->outer_row(), &sel_true_, nullptr, nullptr));
+  batch.selection().swap(sel_true_);
+  return Emit(kPortOut, std::move(batch));
 }
 
-Status BypassFilterOp::Consume(int, Row row) {
-  EvalContext ectx{&row, ctx_->outer_row()};
-  BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
-  // Positive stream: predicate true. Negative stream: false or unknown
-  // (two-valued on NULL-free data, SQL-correct beyond).
-  if (ValueToTriBool(v) == TriBool::kTrue) {
-    return Emit(kPortOut, std::move(row));
-  }
-  return Emit(kPortNegative, std::move(row));
+Status BypassFilterOp::Consume(int, RowBatch batch) {
+  // One predicate pass partitions the selection vector: positive stream
+  // keeps the batch (selection replaced), the negative stream gets a view
+  // over the same storage. False and unknown both route negative
+  // (two-valued on NULL-free data, SQL-correct beyond), in input order.
+  sel_true_.clear();
+  sel_other_.clear();
+  BYPASS_RETURN_IF_ERROR(predicate_->PartitionBatch(
+      batch, ctx_->outer_row(), &sel_true_, &sel_other_, &sel_other_));
+  RowBatch negative = batch.ShareWithSelection(std::move(sel_other_));
+  batch.selection().swap(sel_true_);
+  BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(batch)));
+  return Emit(kPortNegative, std::move(negative));
 }
 
 }  // namespace bypass

@@ -1,11 +1,13 @@
 // Selection σ_p and bypass selection σ±_p. The bypass variant routes
 // tuples failing (or unknown on) the predicate to the negative port
 // instead of dropping them — the short-circuit machinery of the paper's
-// disjunctive unnesting.
+// disjunctive unnesting. Both evaluate the predicate once per batch and
+// partition the selection vector; the rows themselves never move.
 #ifndef BYPASSDB_EXEC_FILTER_H_
 #define BYPASSDB_EXEC_FILTER_H_
 
 #include <string>
+#include <vector>
 
 #include "exec/phys_op.h"
 #include "expr/expr.h"
@@ -17,13 +19,14 @@ class FilterOp : public UnaryPhysOp {
   explicit FilterOp(ExprPtr predicate)
       : predicate_(std::move(predicate)) {}
 
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override {
     return "Filter " + predicate_->ToString();
   }
 
  private:
   ExprPtr predicate_;
+  std::vector<uint32_t> sel_true_;  // per-batch scratch
 };
 
 class BypassFilterOp : public UnaryPhysOp {
@@ -32,13 +35,15 @@ class BypassFilterOp : public UnaryPhysOp {
       : UnaryPhysOp(/*num_out_ports=*/2),
         predicate_(std::move(predicate)) {}
 
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override {
     return "BypassFilter± " + predicate_->ToString();
   }
 
  private:
   ExprPtr predicate_;
+  std::vector<uint32_t> sel_true_;   // per-batch scratch
+  std::vector<uint32_t> sel_other_;  // per-batch scratch
 };
 
 }  // namespace bypass

@@ -24,32 +24,37 @@ void HashGroupByOp::Reset() {
   if (scalar_group_) scalar_group_->Reset();
 }
 
-Status HashGroupByOp::Consume(int, Row row) {
-  EvalContext ectx{&row, ctx_->outer_row()};
-  if (scalar_) {
-    return scalar_group_->Accumulate(ectx);
+Status HashGroupByOp::Consume(int, RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = batch.row(i);
+    EvalContext ectx{&row, ctx_->outer_row()};
+    if (scalar_) {
+      BYPASS_RETURN_IF_ERROR(scalar_group_->Accumulate(ectx));
+      continue;
+    }
+    auto it = groups_.find(RowSlotsRef{&row, &key_slots_});
+    if (it == groups_.end()) {
+      it = groups_
+               .emplace(ProjectRow(row, key_slots_),
+                        std::make_unique<AggregatorSet>(&aggregates_))
+               .first;
+    }
+    BYPASS_RETURN_IF_ERROR(it->second->Accumulate(ectx));
   }
-  Row key = ProjectRow(row, key_slots_);
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
-    it = groups_
-             .emplace(std::move(key),
-                      std::make_unique<AggregatorSet>(&aggregates_))
-             .first;
-  }
-  return it->second->Accumulate(ectx);
+  return Status::OK();
 }
 
 Status HashGroupByOp::FinishPort(int) {
   if (scalar_) {
     Row out;
     BYPASS_RETURN_IF_ERROR(scalar_group_->FinalizeInto(&out));
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(out)));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
   } else {
     for (const auto& [key, aggs] : groups_) {
       Row out = key;
       BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&out));
-      BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(out)));
+      BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
     }
   }
   return EmitFinish(kPortOut);
@@ -62,6 +67,8 @@ BinaryGroupByHashOp::BinaryGroupByHashOp(
     std::vector<AggregateSpec> aggregates)
     : left_key_slot_(left_key_slot),
       right_key_slot_(right_key_slot),
+      left_key_slots_{left_key_slot},
+      right_key_slots_{right_key_slot},
       aggregates_(std::move(aggregates)) {}
 
 void BinaryGroupByHashOp::Reset() {
@@ -72,16 +79,16 @@ void BinaryGroupByHashOp::Reset() {
 
 Status BinaryGroupByHashOp::BuildFromRight() {
   // Phase 1: accumulate one AggregatorSet per distinct right key.
-  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowHash, RowEq>
+  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowKeyHash,
+                     RowKeyEq>
       groups;
   for (const Row& row : right_rows()) {
     const Value& key_val = row[static_cast<size_t>(right_key_slot_)];
     if (key_val.is_null()) continue;  // SQL '=' never matches NULL
-    Row key{key_val};
-    auto it = groups.find(key);
+    auto it = groups.find(RowSlotsRef{&row, &right_key_slots_});
     if (it == groups.end()) {
       it = groups
-               .emplace(std::move(key),
+               .emplace(Row{key_val},
                         std::make_unique<AggregatorSet>(&aggregates_))
                .first;
     }
@@ -107,11 +114,11 @@ Status BinaryGroupByHashOp::ProcessLeft(Row row) {
   const Value& key_val = row[static_cast<size_t>(left_key_slot_)];
   const Row* vals = &empty_group_values_;
   if (!key_val.is_null()) {
-    const auto it = group_values_.find(Row{key_val});
+    const auto it = group_values_.find(RowSlotsRef{&row, &left_key_slots_});
     if (it != group_values_.end()) vals = &it->second;
   }
   for (const Value& v : *vals) row.push_back(v);
-  return Emit(kPortOut, std::move(row));
+  return EmitRow(kPortOut, std::move(row));
 }
 
 // ------------------------------------------------------ BinaryGroupBy(nl)
@@ -139,7 +146,7 @@ Status BinaryGroupByNLOp::ProcessLeft(Row row) {
     BYPASS_RETURN_IF_ERROR(aggs.Accumulate(ectx));
   }
   BYPASS_RETURN_IF_ERROR(aggs.FinalizeInto(&row));
-  return Emit(kPortOut, std::move(row));
+  return EmitRow(kPortOut, std::move(row));
 }
 
 }  // namespace bypass

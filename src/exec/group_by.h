@@ -24,7 +24,7 @@ class HashGroupByOp : public UnaryPhysOp {
                 std::vector<AggregateSpec> aggregates, bool scalar);
 
   void Reset() override;
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override {
     return scalar_ ? "ScalarAgg" : "HashGroupBy";
@@ -34,7 +34,10 @@ class HashGroupByOp : public UnaryPhysOp {
   std::vector<int> key_slots_;
   std::vector<AggregateSpec> aggregates_;
   bool scalar_;
-  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowHash, RowEq>
+  // RowKeyHash/RowKeyEq are transparent: group lookup probes with a
+  // RowSlotsRef over the input row, so only new groups project a key row.
+  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowKeyHash,
+                     RowKeyEq>
       groups_;
   std::unique_ptr<AggregatorSet> scalar_group_;
 };
@@ -58,8 +61,11 @@ class BinaryGroupByHashOp : public BinaryPhysOp {
  private:
   int left_key_slot_;
   int right_key_slot_;
+  // Single-element slot vectors backing the RowSlotsRef probes below.
+  std::vector<int> left_key_slots_;
+  std::vector<int> right_key_slots_;
   std::vector<AggregateSpec> aggregates_;
-  std::unordered_map<Row, Row, RowHash, RowEq> group_values_;
+  std::unordered_map<Row, Row, RowKeyHash, RowKeyEq> group_values_;
   Row empty_group_values_;
 };
 

@@ -18,6 +18,7 @@ void JoinHashTable::Clear() { map_.clear(); }
 void JoinHashTable::Build(const std::vector<Row>& rows,
                           const std::vector<int>& key_slots) {
   map_.clear();
+  map_.reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     if (AnyNull(rows[i], key_slots)) continue;
     map_[ProjectRow(rows[i], key_slots)].push_back(i);
@@ -27,7 +28,7 @@ void JoinHashTable::Build(const std::vector<Row>& rows,
 const std::vector<size_t>* JoinHashTable::Probe(
     const Row& row, const std::vector<int>& probe_slots) const {
   if (AnyNull(row, probe_slots)) return nullptr;
-  const auto it = map_.find(ProjectRow(row, probe_slots));
+  const auto it = map_.find(RowSlotsRef{&row, &probe_slots});
   if (it == map_.end()) return nullptr;
   return &it->second;
 }
@@ -44,7 +45,7 @@ Status HashJoinOp::BuildFromRight() {
   return Status::OK();
 }
 
-Status HashJoinOp::ProcessLeft(Row row) {
+Status HashJoinOp::ProbeAndEmit(const Row& row) {
   const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
   if (matches == nullptr) return Status::OK();
   for (size_t idx : *matches) {
@@ -54,14 +55,26 @@ Status HashJoinOp::ProcessLeft(Row row) {
       BYPASS_ASSIGN_OR_RETURN(Value v, residual_->Eval(ectx));
       if (ValueToTriBool(v) != TriBool::kTrue) continue;
     }
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::ProcessLeft(Row row) { return ProbeAndEmit(row); }
+
+// Probes each selected row in place: left rows are never copied out of
+// the batch, so probe misses cost no allocation at all.
+Status HashJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(ProbeAndEmit(batch.row(i)));
   }
   return Status::OK();
 }
 
 // ----------------------------------------------------------------- NLJoin
 
-Status NLJoinOp::ProcessLeft(Row row) {
+Status NLJoinOp::JoinAgainstRight(const Row& row) {
   int64_t since_check = 0;
   for (const Row& right : right_rows()) {
     if (++since_check >= 4096) {
@@ -74,14 +87,24 @@ Status NLJoinOp::ProcessLeft(Row row) {
       BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
       if (ValueToTriBool(v) != TriBool::kTrue) continue;
     }
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+Status NLJoinOp::ProcessLeft(Row row) { return JoinAgainstRight(row); }
+
+Status NLJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(JoinAgainstRight(batch.row(i)));
   }
   return Status::OK();
 }
 
 // ----------------------------------------------------------- BypassNLJoin
 
-Status BypassNLJoinOp::ProcessLeft(Row row) {
+Status BypassNLJoinOp::SplitAgainstRight(const Row& row) {
   int64_t since_check = 0;
   for (const Row& right : right_rows()) {
     if (++since_check >= 4096) {
@@ -93,7 +116,19 @@ Status BypassNLJoinOp::ProcessLeft(Row row) {
     BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
     const int port =
         ValueToTriBool(v) == TriBool::kTrue ? kPortOut : kPortNegative;
-    BYPASS_RETURN_IF_ERROR(Emit(port, std::move(joined)));
+    BYPASS_RETURN_IF_ERROR(EmitRow(port, std::move(joined)));
+  }
+  return Status::OK();
+}
+
+Status BypassNLJoinOp::ProcessLeft(Row row) {
+  return SplitAgainstRight(row);
+}
+
+Status BypassNLJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(SplitAgainstRight(batch.row(i)));
   }
   return Status::OK();
 }

@@ -25,13 +25,14 @@ class JoinHashTable {
              const std::vector<int>& key_slots);
 
   /// Matching right-row indices for the probe key taken from `row` at
-  /// `probe_slots`; empty when the key has NULLs.
+  /// `probe_slots`; empty when the key has NULLs. Allocation-free: the
+  /// probe key is looked up through RowSlotsRef, never materialized.
   const std::vector<size_t>* Probe(const Row& row,
                                    const std::vector<int>& probe_slots)
       const;
 
  private:
-  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> map_;
+  std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq> map_;
 };
 
 /// Equi hash join (right = build side). Optional residual predicate over
@@ -50,9 +51,12 @@ class HashJoinOp : public BinaryPhysOp {
  protected:
   Status BuildFromRight() override;
   Status ProcessLeft(Row row) override;
+  Status ProcessLeftBatch(RowBatch batch) override;
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
+  Status ProbeAndEmit(const Row& row);
+
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   ExprPtr residual_;
@@ -71,9 +75,12 @@ class NLJoinOp : public BinaryPhysOp {
 
  protected:
   Status ProcessLeft(Row row) override;
+  Status ProcessLeftBatch(RowBatch batch) override;
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
+  Status JoinAgainstRight(const Row& row);
+
   ExprPtr predicate_;
 };
 
@@ -91,9 +98,12 @@ class BypassNLJoinOp : public BinaryPhysOp {
 
  protected:
   Status ProcessLeft(Row row) override;
+  Status ProcessLeftBatch(RowBatch batch) override;
   Status FinishBoth() override;
 
  private:
+  Status SplitAgainstRight(const Row& row);
+
   ExprPtr predicate_;
 };
 

@@ -12,19 +12,29 @@ Status HashLeftOuterJoinOp::BuildFromRight() {
   return Status::OK();
 }
 
-Status HashLeftOuterJoinOp::ProcessLeft(Row row) {
+Status HashLeftOuterJoinOp::JoinOrPad(const Row& row) {
   const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
   if (matches == nullptr || matches->empty()) {
-    return Emit(kPortOut, ConcatRows(row, unmatched_right_));
+    return EmitRow(kPortOut, ConcatRows(row, unmatched_right_));
   }
   for (size_t idx : *matches) {
     BYPASS_RETURN_IF_ERROR(
-        Emit(kPortOut, ConcatRows(row, right_rows()[idx])));
+        EmitRow(kPortOut, ConcatRows(row, right_rows()[idx])));
   }
   return Status::OK();
 }
 
-Status NLLeftOuterJoinOp::ProcessLeft(Row row) {
+Status HashLeftOuterJoinOp::ProcessLeft(Row row) { return JoinOrPad(row); }
+
+Status HashLeftOuterJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(JoinOrPad(batch.row(i)));
+  }
+  return Status::OK();
+}
+
+Status NLLeftOuterJoinOp::JoinOrPad(const Row& row) {
   bool matched = false;
   int64_t since_check = 0;
   for (const Row& right : right_rows()) {
@@ -37,10 +47,20 @@ Status NLLeftOuterJoinOp::ProcessLeft(Row row) {
     BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
     if (ValueToTriBool(v) != TriBool::kTrue) continue;
     matched = true;
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(joined)));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(joined)));
   }
   if (!matched) {
-    return Emit(kPortOut, ConcatRows(row, unmatched_right_));
+    return EmitRow(kPortOut, ConcatRows(row, unmatched_right_));
+  }
+  return Status::OK();
+}
+
+Status NLLeftOuterJoinOp::ProcessLeft(Row row) { return JoinOrPad(row); }
+
+Status NLLeftOuterJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(JoinOrPad(batch.row(i)));
   }
   return Status::OK();
 }

@@ -31,9 +31,12 @@ class HashLeftOuterJoinOp : public BinaryPhysOp {
  protected:
   Status BuildFromRight() override;
   Status ProcessLeft(Row row) override;
+  Status ProcessLeftBatch(RowBatch batch) override;
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
+  Status JoinOrPad(const Row& row);
+
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   Row unmatched_right_;
@@ -53,9 +56,12 @@ class NLLeftOuterJoinOp : public BinaryPhysOp {
 
  protected:
   Status ProcessLeft(Row row) override;
+  Status ProcessLeftBatch(RowBatch batch) override;
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
+  Status JoinOrPad(const Row& row);
+
   ExprPtr predicate_;
   Row unmatched_right_;
 };

@@ -13,24 +13,57 @@ void PhysOp::AddConsumer(int out_port, PhysOp* consumer, int in_port) {
 
 Status PhysOp::Prepare(ExecContext* ctx) {
   ctx_ = ctx;
+  batch_size_ = ctx->batch_size();
   emitted_.assign(out_edges_.size(), 0);
+  batches_emitted_.assign(out_edges_.size(), 0);
+  // Keep the pending builders' capacity: subplans re-Prepare once per
+  // correlated re-execution, and reallocating here would churn.
+  pending_.resize(out_edges_.size());
+  for (std::vector<Row>& p : pending_) p.clear();
   return Status::OK();
 }
 
-Status PhysOp::Emit(int out_port, Row row) {
-  ++emitted_[static_cast<size_t>(out_port)];
-  const auto& edges = out_edges_[static_cast<size_t>(out_port)];
+Status PhysOp::EmitBatch(int out_port, RowBatch batch) {
+  if (batch.empty()) return Status::OK();
+  const size_t port = static_cast<size_t>(out_port);
+  emitted_[port] += static_cast<int64_t>(batch.size());
+  ++batches_emitted_[port];
+  const auto& edges = out_edges_[port];
   if (edges.empty()) return Status::OK();
-  // Copy for all consumers but the last; move into the last.
+  // Fan-out consumers share the batch's storage; only the selection
+  // vector is duplicated. The last (and in the common single-consumer
+  // case, only) edge receives the moved batch.
   for (size_t i = 0; i + 1 < edges.size(); ++i) {
-    BYPASS_RETURN_IF_ERROR(
-        edges[i].consumer->Consume(edges[i].in_port, row));
+    BYPASS_RETURN_IF_ERROR(edges[i].consumer->Consume(
+        edges[i].in_port,
+        batch.ShareWithSelection(batch.selection())));
   }
   return edges.back().consumer->Consume(edges.back().in_port,
-                                        std::move(row));
+                                        std::move(batch));
+}
+
+Status PhysOp::FlushPending(int out_port) {
+  std::vector<Row>& pending = pending_[static_cast<size_t>(out_port)];
+  if (pending.empty()) return Status::OK();
+  std::vector<Row> rows;
+  rows.swap(pending);
+  return EmitBatch(out_port, RowBatch::FromRows(std::move(rows)));
+}
+
+Status PhysOp::Emit(int out_port, RowBatch batch) {
+  BYPASS_RETURN_IF_ERROR(FlushPending(out_port));
+  return EmitBatch(out_port, std::move(batch));
+}
+
+Status PhysOp::EmitRow(int out_port, Row row) {
+  std::vector<Row>& pending = pending_[static_cast<size_t>(out_port)];
+  pending.push_back(std::move(row));
+  if (pending.size() >= batch_size_) return FlushPending(out_port);
+  return Status::OK();
 }
 
 Status PhysOp::EmitFinish(int out_port) {
+  BYPASS_RETURN_IF_ERROR(FlushPending(out_port));
   for (const Edge& e : out_edges_[static_cast<size_t>(out_port)]) {
     BYPASS_RETURN_IF_ERROR(e.consumer->FinishPort(e.in_port));
   }
@@ -58,30 +91,38 @@ void BinaryPhysOp::Reset() {
   finished_ = false;
 }
 
-Status BinaryPhysOp::Consume(int in_port, Row row) {
+Status BinaryPhysOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_RETURN_IF_ERROR(ProcessLeft(batch.TakeRow(i)));
+  }
+  return Status::OK();
+}
+
+Status BinaryPhysOp::Consume(int in_port, RowBatch batch) {
   if (in_port == kRight) {
-    BYPASS_CHECK_MSG(!right_done_, "row after right-side finish");
-    right_rows_.push_back(std::move(row));
+    BYPASS_CHECK_MSG(!right_done_, "batch after right-side finish");
+    batch.ConsumeRowsInto(&right_rows_);
     return Status::OK();
   }
   BYPASS_CHECK(in_port == kLeft);
   if (!right_done_) {
     // The executor could not schedule the right pipeline first (shared
     // DAG sources); fall back to buffering the left side.
-    pending_left_.push_back(std::move(row));
+    pending_left_.push_back(std::move(batch));
     return Status::OK();
   }
-  return ProcessLeft(std::move(row));
+  return ProcessLeftBatch(std::move(batch));
 }
 
 Status BinaryPhysOp::FinishPort(int in_port) {
   if (in_port == kRight) {
     right_done_ = true;
     BYPASS_RETURN_IF_ERROR(BuildFromRight());
-    std::vector<Row> pending = std::move(pending_left_);
+    std::vector<RowBatch> pending = std::move(pending_left_);
     pending_left_.clear();
-    for (Row& r : pending) {
-      BYPASS_RETURN_IF_ERROR(ProcessLeft(std::move(r)));
+    for (RowBatch& b : pending) {
+      BYPASS_RETURN_IF_ERROR(ProcessLeftBatch(std::move(b)));
     }
   } else {
     BYPASS_CHECK(in_port == kLeft);

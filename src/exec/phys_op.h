@@ -1,8 +1,10 @@
-// Physical operator base. Execution is push-based: producers call
-// Consume(port, row) on their consumers and FinishPort(port) at
-// end-of-stream. Push style makes the paper's DAG-structured bypass plans
-// natural — a bypass operator simply emits on two output ports, and the
-// re-uniting union consumes on two input ports.
+// Physical operator base. Execution is push-based and batch-at-a-time:
+// producers call Consume(port, batch) on their consumers and
+// FinishPort(port) at end-of-stream. Push style makes the paper's
+// DAG-structured bypass plans natural — a bypass operator simply emits on
+// two output ports, and the re-uniting union consumes on two input ports.
+// Batches carry a selection vector over shared row storage, so selections
+// and bypass splits are zero-copy (see types/row_batch.h).
 #ifndef BYPASSDB_EXEC_PHYS_OP_H_
 #define BYPASSDB_EXEC_PHYS_OP_H_
 
@@ -13,6 +15,7 @@
 #include "common/status.h"
 #include "exec/exec_context.h"
 #include "types/row.h"
+#include "types/row_batch.h"
 
 namespace bypass {
 
@@ -37,8 +40,8 @@ class PhysOp {
   /// Clears all accumulated state so the operator can run again.
   virtual void Reset() {}
 
-  /// Receives one input row on `in_port`.
-  virtual Status Consume(int in_port, Row row) = 0;
+  /// Receives one non-empty batch on `in_port`.
+  virtual Status Consume(int in_port, RowBatch batch) = 0;
 
   /// Signals end-of-stream on `in_port`.
   virtual Status FinishPort(int in_port) = 0;
@@ -47,21 +50,37 @@ class PhysOp {
 
   int num_out_ports() const { return static_cast<int>(out_edges_.size()); }
 
-  /// Rows emitted on `out_port` during the last execution (EXPLAIN
-  /// ANALYZE-style accounting; reset by Prepare).
+  /// Rows / batches emitted on `out_port` during the last execution
+  /// (EXPLAIN ANALYZE-style accounting; reset by Prepare).
   int64_t rows_emitted(int out_port) const {
     const size_t port = static_cast<size_t>(out_port);
     return port < emitted_.size() ? emitted_[port] : 0;
+  }
+  int64_t batches_emitted(int out_port) const {
+    const size_t port = static_cast<size_t>(out_port);
+    return port < batches_emitted_.size() ? batches_emitted_[port] : 0;
   }
 
  protected:
   explicit PhysOp(int num_out_ports) : out_edges_(num_out_ports) {}
 
-  /// Forwards a row to all consumers of `out_port` (copies for fan-out).
-  Status Emit(int out_port, Row row);
+  /// Forwards a batch to all consumers of `out_port`. Empty batches are
+  /// dropped — consumers never see them. The last consumer receives the
+  /// moved batch; earlier consumers get shared-storage views (cheap: a
+  /// shared_ptr plus a selection-vector copy, never a row copy). Any rows
+  /// pending from EmitRow are flushed first to preserve arrival order.
+  Status Emit(int out_port, RowBatch batch);
 
-  /// Forwards end-of-stream on `out_port`.
+  /// Appends one produced row to the pending output batch of `out_port`,
+  /// forwarding it once batch_size rows accumulated. Used by operators
+  /// that materialize new rows (joins, group-by, sort replay).
+  Status EmitRow(int out_port, Row row);
+
+  /// Forwards end-of-stream on `out_port` (flushing pending rows first).
   Status EmitFinish(int out_port);
+
+  /// The execution's configured rows-per-batch.
+  size_t batch_size() const { return batch_size_; }
 
   ExecContext* ctx_ = nullptr;
 
@@ -70,8 +89,16 @@ class PhysOp {
     PhysOp* consumer;
     int in_port;
   };
+
+  /// Emit without flushing pending rows (internal fast path).
+  Status EmitBatch(int out_port, RowBatch batch);
+  Status FlushPending(int out_port);
+
   std::vector<std::vector<Edge>> out_edges_;
+  std::vector<std::vector<Row>> pending_;
   std::vector<int64_t> emitted_;
+  std::vector<int64_t> batches_emitted_;
+  size_t batch_size_ = kDefaultBatchSize;
 };
 
 using PhysOpPtr = std::unique_ptr<PhysOp>;
@@ -88,8 +115,8 @@ class UnaryPhysOp : public PhysOp {
 /// Base for binary operators that logically build from the right input and
 /// stream the left one. Buffering rules make execution correct regardless
 /// of the order source pipelines run in: right rows are always buffered;
-/// left rows are buffered only while the right input is still open, then
-/// replayed.
+/// left batches are buffered only while the right input is still open,
+/// then replayed.
 class BinaryPhysOp : public PhysOp {
  public:
   BinaryPhysOp() = default;
@@ -100,7 +127,7 @@ class BinaryPhysOp : public PhysOp {
 
   Status Prepare(ExecContext* ctx) override;
   void Reset() override;
-  Status Consume(int in_port, Row row) final;
+  Status Consume(int in_port, RowBatch batch) final;
   Status FinishPort(int in_port) final;
 
  protected:
@@ -108,8 +135,13 @@ class BinaryPhysOp : public PhysOp {
   /// processed; `right_rows()` is complete at this point.
   virtual Status BuildFromRight() { return Status::OK(); }
 
-  /// Called for each left row after the right side is built.
+  /// Called for each left row after the right side is built. Outputs go
+  /// through EmitRow so they re-batch on the way out.
   virtual Status ProcessLeft(Row row) = 0;
+
+  /// Batch-level hook; the default unpacks the batch into ProcessLeft
+  /// calls (moving rows out when the batch owns them exclusively).
+  virtual Status ProcessLeftBatch(RowBatch batch);
 
   /// Called when both inputs have finished and all left rows were
   /// processed; must EmitFinish on every output port.
@@ -119,7 +151,7 @@ class BinaryPhysOp : public PhysOp {
 
  private:
   std::vector<Row> right_rows_;
-  std::vector<Row> pending_left_;
+  std::vector<RowBatch> pending_left_;
   bool right_done_ = false;
   bool left_done_ = false;
   bool finished_ = false;

@@ -4,15 +4,23 @@
 
 namespace bypass {
 
-Status ProjectPhysOp::Consume(int, Row row) {
-  EvalContext ectx{&row, ctx_->outer_row()};
-  Row out;
-  out.reserve(exprs_.size());
-  for (const ExprPtr& e : exprs_) {
-    BYPASS_ASSIGN_OR_RETURN(Value v, e->Eval(ectx));
-    out.push_back(std::move(v));
+Status ProjectPhysOp::Consume(int, RowBatch batch) {
+  if (identity_) return Emit(kPortOut, std::move(batch));
+  const size_t n = batch.size();
+  columns_.resize(exprs_.size());
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    columns_[c].clear();
+    BYPASS_RETURN_IF_ERROR(
+        exprs_[c]->EvalBatch(batch, ctx_->outer_row(), &columns_[c]));
   }
-  return Emit(kPortOut, std::move(out));
+  std::vector<Row> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i].reserve(exprs_.size());
+    for (size_t c = 0; c < exprs_.size(); ++c) {
+      rows[i].push_back(std::move(columns_[c][i]));
+    }
+  }
+  return Emit(kPortOut, RowBatch::FromRows(std::move(rows)));
 }
 
 std::string ProjectPhysOp::Label() const {
@@ -22,16 +30,38 @@ std::string ProjectPhysOp::Label() const {
   return "Project [" + Join(parts, ", ") + "]";
 }
 
-Status MapPhysOp::Consume(int, Row row) {
-  EvalContext ectx{&row, ctx_->outer_row()};
-  Row extra;
-  extra.reserve(exprs_.size());
-  for (const ExprPtr& e : exprs_) {
-    BYPASS_ASSIGN_OR_RETURN(Value v, e->Eval(ectx));
-    extra.push_back(std::move(v));
+Status MapPhysOp::Consume(int, RowBatch batch) {
+  const size_t n = batch.size();
+  columns_.resize(exprs_.size());
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    columns_[c].clear();
+    BYPASS_RETURN_IF_ERROR(
+        exprs_[c]->EvalBatch(batch, ctx_->outer_row(), &columns_[c]));
   }
-  for (Value& v : extra) row.push_back(std::move(v));
-  return Emit(kPortOut, std::move(row));
+  if (batch.ExclusivelyOwned()) {
+    for (size_t i = 0; i < n; ++i) {
+      Row& row = batch.MutableRow(i);
+      for (size_t c = 0; c < exprs_.size(); ++c) {
+        row.push_back(std::move(columns_[c][i]));
+      }
+    }
+    return Emit(kPortOut, std::move(batch));
+  }
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& src = batch.row(i);
+    // Build the widened row in one allocation; copy-then-reserve would
+    // allocate twice per row.
+    Row row;
+    row.reserve(src.size() + exprs_.size());
+    row.insert(row.end(), src.begin(), src.end());
+    for (size_t c = 0; c < exprs_.size(); ++c) {
+      row.push_back(std::move(columns_[c][i]));
+    }
+    rows.push_back(std::move(row));
+  }
+  return Emit(kPortOut, RowBatch::FromRows(std::move(rows)));
 }
 
 std::string MapPhysOp::Label() const {
@@ -41,15 +71,35 @@ std::string MapPhysOp::Label() const {
   return "Map χ[" + Join(parts, ", ") + "]";
 }
 
-Status NumberingPhysOp::Consume(int, Row row) {
-  row.push_back(Value::Int64(next_id_++));
-  return Emit(kPortOut, std::move(row));
+Status NumberingPhysOp::Consume(int, RowBatch batch) {
+  const size_t n = batch.size();
+  if (batch.ExclusivelyOwned()) {
+    for (size_t i = 0; i < n; ++i) {
+      batch.MutableRow(i).push_back(Value::Int64(next_id_++));
+    }
+    return Emit(kPortOut, std::move(batch));
+  }
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& src = batch.row(i);
+    Row row;
+    row.reserve(src.size() + 1);
+    row.insert(row.end(), src.begin(), src.end());
+    row.push_back(Value::Int64(next_id_++));
+    rows.push_back(std::move(row));
+  }
+  return Emit(kPortOut, RowBatch::FromRows(std::move(rows)));
 }
 
-Status LimitPhysOp::Consume(int, Row row) {
+Status LimitPhysOp::Consume(int, RowBatch batch) {
   if (seen_ >= count_) return Status::OK();
-  ++seen_;
-  BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(row)));
+  const int64_t remaining = count_ - seen_;
+  if (static_cast<int64_t>(batch.size()) > remaining) {
+    batch.selection().resize(static_cast<size_t>(remaining));
+  }
+  seen_ += static_cast<int64_t>(batch.size());
+  BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(batch)));
   if (seen_ >= count_) ctx_->set_cancelled(true);
   return Status::OK();
 }

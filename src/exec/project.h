@@ -11,17 +11,21 @@
 
 namespace bypass {
 
-/// Π: output = one value per expression.
+/// Π: output = one value per expression. When the planner detects that
+/// the projection is the identity over its input schema it sets
+/// `identity` and batches flow through untouched.
 class ProjectPhysOp : public UnaryPhysOp {
  public:
-  explicit ProjectPhysOp(std::vector<ExprPtr> exprs)
-      : exprs_(std::move(exprs)) {}
+  explicit ProjectPhysOp(std::vector<ExprPtr> exprs, bool identity = false)
+      : exprs_(std::move(exprs)), identity_(identity) {}
 
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override;
 
  private:
   std::vector<ExprPtr> exprs_;
+  bool identity_;
+  std::vector<std::vector<Value>> columns_;  // per-batch scratch
 };
 
 /// χ: output = input row ++ one value per expression.
@@ -30,11 +34,12 @@ class MapPhysOp : public UnaryPhysOp {
   explicit MapPhysOp(std::vector<ExprPtr> exprs)
       : exprs_(std::move(exprs)) {}
 
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override;
 
  private:
   std::vector<ExprPtr> exprs_;
+  std::vector<std::vector<Value>> columns_;  // per-batch scratch
 };
 
 /// ν: output = input row ++ [running int64 id starting at 0].
@@ -43,7 +48,7 @@ class NumberingPhysOp : public UnaryPhysOp {
   NumberingPhysOp() = default;
 
   void Reset() override { next_id_ = 0; }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override { return "Numbering ν"; }
 
  private:
@@ -57,7 +62,7 @@ class LimitPhysOp : public UnaryPhysOp {
   explicit LimitPhysOp(int64_t count) : count_(count) {}
 
   void Reset() override { seen_ = 0; }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override {
     return "Limit " + std::to_string(count_);
   }

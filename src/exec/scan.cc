@@ -1,18 +1,21 @@
 #include "exec/scan.h"
 
+#include <algorithm>
+
 namespace bypass {
 
 Status TableScanOp::Run() {
   const std::vector<Row>& rows = table_->rows();
-  int64_t since_check = 0;
-  for (const Row& row : rows) {
+  const size_t n = rows.size();
+  for (size_t begin = 0; begin < n; begin += batch_size()) {
     if (ctx_->cancelled()) break;
-    if (++since_check >= 4096) {
-      since_check = 0;
-      BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    const size_t end = std::min(begin + batch_size(), n);
+    if (ctx_->stats() != nullptr) {
+      ctx_->stats()->rows_scanned += static_cast<int64_t>(end - begin);
     }
-    if (ctx_->stats() != nullptr) ++ctx_->stats()->rows_scanned;
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, row));
+    BYPASS_RETURN_IF_ERROR(
+        Emit(kPortOut, RowBatch::Borrowed(&rows, begin, end)));
   }
   return EmitFinish(kPortOut);
 }

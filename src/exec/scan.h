@@ -15,11 +15,12 @@ class TableScanOp : public UnaryPhysOp {
  public:
   explicit TableScanOp(const Table* table) : table_(table) {}
 
-  /// Pushes all rows to the consumers, polling cancellation and the time
-  /// budget, then finishes the output.
+  /// Pushes the table to the consumers in zero-copy borrowed batches,
+  /// polling cancellation and the time budget between batches, then
+  /// finishes the output.
   Status Run();
 
-  Status Consume(int, Row) override {
+  Status Consume(int, RowBatch) override {
     return Status::Internal("TableScan has no input");
   }
 

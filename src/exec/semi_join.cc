@@ -12,17 +12,31 @@ Status HashExistenceJoinOp::BuildFromRight() {
   return Status::OK();
 }
 
-Status HashExistenceJoinOp::ProcessLeft(Row row) {
+bool HashExistenceJoinOp::Matches(const Row& row) const {
   const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
-  const bool has_match = matches != nullptr && !matches->empty();
-  if (has_match != anti_) {
-    return Emit(kPortOut, std::move(row));
+  return matches != nullptr && !matches->empty();
+}
+
+Status HashExistenceJoinOp::ProcessLeft(Row row) {
+  if (Matches(row) != anti_) {
+    return EmitRow(kPortOut, std::move(row));
   }
   return Status::OK();
 }
 
-Status NLExistenceJoinOp::ProcessLeft(Row row) {
-  bool has_match = false;
+// Probes in place; the left row is only copied out of the batch when it
+// actually passes the existence test.
+Status HashExistenceJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (Matches(batch.row(i)) != anti_) {
+      BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, batch.TakeRow(i)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> NLExistenceJoinOp::Matches(const Row& row) const {
   int64_t since_check = 0;
   for (const Row& right : right_rows()) {
     if (++since_check >= 4096) {
@@ -32,13 +46,26 @@ Status NLExistenceJoinOp::ProcessLeft(Row row) {
     Row joined = ConcatRows(row, right);
     EvalContext ectx{&joined, ctx_->outer_row()};
     BYPASS_ASSIGN_OR_RETURN(Value v, predicate_->Eval(ectx));
-    if (ValueToTriBool(v) == TriBool::kTrue) {
-      has_match = true;
-      break;
-    }
+    if (ValueToTriBool(v) == TriBool::kTrue) return true;
   }
+  return false;
+}
+
+Status NLExistenceJoinOp::ProcessLeft(Row row) {
+  BYPASS_ASSIGN_OR_RETURN(bool has_match, Matches(row));
   if (has_match != anti_) {
-    return Emit(kPortOut, std::move(row));
+    return EmitRow(kPortOut, std::move(row));
+  }
+  return Status::OK();
+}
+
+Status NLExistenceJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    BYPASS_ASSIGN_OR_RETURN(bool has_match, Matches(batch.row(i)));
+    if (has_match != anti_) {
+      BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, batch.TakeRow(i)));
+    }
   }
   return Status::OK();
 }

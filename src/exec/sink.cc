@@ -2,10 +2,19 @@
 
 namespace bypass {
 
-Status CollectorSink::Consume(int, Row row) {
-  if (ctx_->stats() != nullptr) ++ctx_->stats()->rows_emitted;
-  rows_.push_back(std::move(row));
-  if (ctx_->limit_one()) ctx_->set_cancelled(true);
+Status CollectorSink::Consume(int, RowBatch batch) {
+  if (ctx_->limit_one()) {
+    // One witness row is enough; drop the rest of the batch.
+    batch.selection().resize(1);
+    if (ctx_->stats() != nullptr) ++ctx_->stats()->rows_emitted;
+    rows_.push_back(batch.TakeRow(0));
+    ctx_->set_cancelled(true);
+    return Status::OK();
+  }
+  if (ctx_->stats() != nullptr) {
+    ctx_->stats()->rows_emitted += static_cast<int64_t>(batch.size());
+  }
+  batch.ConsumeRowsInto(&rows_);
   return Status::OK();
 }
 
@@ -14,7 +23,7 @@ Status CollectorSink::FinishPort(int) {
   return Status::OK();
 }
 
-Status ExistsSink::Consume(int, Row) {
+Status ExistsSink::Consume(int, RowBatch) {
   found_ = true;
   ctx_->set_cancelled(true);  // producers stop as soon as they notice
   return Status::OK();

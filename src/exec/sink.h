@@ -18,7 +18,7 @@ class CollectorSink : public PhysOp {
     rows_.clear();
     finished_ = false;
   }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override { return "Collect"; }
 
@@ -38,7 +38,7 @@ class ExistsSink : public PhysOp {
   ExistsSink() = default;
 
   void Reset() override { found_ = false; }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int) override { return Status::OK(); }
   std::string Label() const override { return "ExistsProbe"; }
 

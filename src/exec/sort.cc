@@ -4,8 +4,8 @@
 
 namespace bypass {
 
-Status SortPhysOp::Consume(int, Row row) {
-  buffer_.push_back(std::move(row));
+Status SortPhysOp::Consume(int, RowBatch batch) {
+  batch.ConsumeRowsInto(&buffer_);
   return Status::OK();
 }
 
@@ -33,7 +33,7 @@ Status SortPhysOp::FinishPort(int) {
         return a.second < b.second;  // stability by arrival order
       });
   for (const auto& [key, idx] : keyed) {
-    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(buffer_[idx])));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(buffer_[idx])));
   }
   buffer_.clear();
   return EmitFinish(kPortOut);

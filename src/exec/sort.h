@@ -23,7 +23,7 @@ class SortPhysOp : public UnaryPhysOp {
       : keys_(std::move(keys)) {}
 
   void Reset() override { buffer_.clear(); }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override { return "Sort"; }
 

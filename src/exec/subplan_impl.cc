@@ -10,15 +10,16 @@ ExecSubplan::ExecSubplan(PhysicalPlan plan,
 
 void ExecSubplan::Configure(
     std::optional<std::chrono::steady_clock::time_point> deadline,
-    ExecStats* stats) {
+    ExecStats* stats, size_t batch_size) {
   if (deadline.has_value()) {
     ctx_.set_deadline(*deadline);
   } else {
     ctx_.clear_deadline();
   }
   ctx_.set_stats(stats);
+  ctx_.set_batch_size(batch_size);
   for (ExecSubplan* nested : plan_.subplans) {
-    nested->Configure(deadline, stats);
+    nested->Configure(deadline, stats, batch_size);
   }
 }
 

@@ -30,11 +30,12 @@ class ExecSubplan : public CorrelatedSubplan {
 
   int64_t num_executions() const override { return num_executions_; }
 
-  /// Propagates the query's deadline and stats sink into this block's
-  /// private execution context (called by the engine before running).
+  /// Propagates the query's deadline, stats sink, and batch size into
+  /// this block's private execution context (called by the engine before
+  /// running).
   void Configure(std::optional<std::chrono::steady_clock::time_point>
                      deadline,
-                 ExecStats* stats);
+                 ExecStats* stats, size_t batch_size);
 
   /// Drops memoized results (between benchmark repetitions).
   void ClearCache();

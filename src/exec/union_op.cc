@@ -4,8 +4,8 @@
 
 namespace bypass {
 
-Status UnionAllOp::Consume(int, Row row) {
-  return Emit(kPortOut, std::move(row));
+Status UnionAllOp::Consume(int, RowBatch batch) {
+  return Emit(kPortOut, std::move(batch));
 }
 
 Status UnionAllOp::FinishPort(int) {

@@ -14,7 +14,7 @@ class UnionAllOp : public PhysOp {
   UnionAllOp() = default;
 
   void Reset() override { finished_inputs_ = 0; }
-  Status Consume(int in_port, Row row) override;
+  Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override { return "UnionAll"; }
 

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "expr/subplan.h"
 #include "types/row.h"
+#include "types/row_batch.h"
 #include "types/value.h"
 
 namespace bypass {
@@ -83,6 +84,27 @@ class Expr {
   /// Value::Bool or NULL (= unknown).
   virtual Result<Value> Eval(const EvalContext& ctx) const = 0;
 
+  /// Evaluates the expression for every selected row of `batch`, appending
+  /// one value per row (in selection order) to `out`. `outer_row` is the
+  /// correlation row shared by the whole batch. The base implementation
+  /// loops Eval; hot node kinds override it with vectorized versions that
+  /// preserve per-row short-circuit semantics.
+  virtual Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                           std::vector<Value>* out) const;
+
+  /// Partitions the batch's selected rows by the expression's 3VL truth
+  /// value: storage indices (entries of batch.selection(), in batch
+  /// order) are appended to `sel_true`, and to `sel_false` / `sel_null`
+  /// when those are non-null. Passing the same vector as `sel_false` and
+  /// `sel_null` collects the complement of TRUE as one ordered stream —
+  /// exactly the σ± split of a bypass selection. The base implementation
+  /// goes through EvalBatch; comparisons override it with a fast path
+  /// that never materializes a Value per row.
+  virtual Status PartitionBatch(const RowBatch& batch, const Row* outer_row,
+                                std::vector<uint32_t>* sel_true,
+                                std::vector<uint32_t>* sel_false,
+                                std::vector<uint32_t>* sel_null) const;
+
   /// Deep copy (nested logical plans deep-copied as well).
   virtual ExprPtr Clone() const = 0;
 
@@ -100,6 +122,8 @@ class LiteralExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kLiteral; }
   const Value& value() const { return value_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override { return value_.ToString(); }
 
@@ -130,6 +154,8 @@ class ColumnRefExpr : public Expr {
   void set_name(std::string n) { name_ = std::move(n); }
 
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
 
@@ -150,6 +176,12 @@ class ComparisonExpr : public Expr {
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
+  Status PartitionBatch(const RowBatch& batch, const Row* outer_row,
+                        std::vector<uint32_t>* sel_true,
+                        std::vector<uint32_t>* sel_false,
+                        std::vector<uint32_t>* sel_null) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override {
@@ -169,6 +201,8 @@ class AndExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kAnd; }
   const std::vector<ExprPtr>& terms() const { return terms_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return terms_; }
@@ -184,6 +218,8 @@ class OrExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kOr; }
   const std::vector<ExprPtr>& terms() const { return terms_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return terms_; }
@@ -199,6 +235,8 @@ class NotExpr : public Expr {
   ExprKind kind() const override { return ExprKind::kNot; }
   const ExprPtr& input() const { return input_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return {input_}; }
@@ -218,6 +256,8 @@ class ArithmeticExpr : public Expr {
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override {
@@ -225,6 +265,8 @@ class ArithmeticExpr : public Expr {
   }
 
  private:
+  Result<Value> Combine(const Value& l, const Value& r) const;
+
   ArithOp op_;
   ExprPtr left_;
   ExprPtr right_;
@@ -261,6 +303,8 @@ class IsNullExpr : public Expr {
   const ExprPtr& input() const { return input_; }
   bool negated() const { return negated_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return {input_}; }

@@ -217,8 +217,21 @@ Result<PhysOp*> Planner::LowerNode(
             ExprPtr e, BindExpr(item.expr, inputs[0].op->schema(), ctx));
         exprs.push_back(std::move(e));
       }
+      // Identity projections (every input column, in order) forward
+      // batches untouched at execution time.
+      bool identity =
+          exprs.size() == inputs[0].op->schema().num_columns();
+      for (size_t i = 0; identity && i < exprs.size(); ++i) {
+        const auto* ref = exprs[i]->kind() == ExprKind::kColumnRef
+                              ? static_cast<const ColumnRefExpr*>(
+                                    exprs[i].get())
+                              : nullptr;
+        identity = ref != nullptr && !ref->is_outer() &&
+                   ref->slot() == static_cast<int>(i);
+      }
       result = Register(
-          ctx, std::make_unique<ProjectPhysOp>(std::move(exprs)));
+          ctx, std::make_unique<ProjectPhysOp>(std::move(exprs),
+                                               identity));
       wire(result, 0, 0);
       break;
     }

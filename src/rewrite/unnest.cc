@@ -610,24 +610,35 @@ UnnestingRewriter::UnnestScalarBlock(LogicalInput stream,
 
     if (all_eq) {
       // Eqv. 1: Γ on the inner correlation columns + left outer join
-      // with default g := f(∅). The keys are always materialized under
-      // fresh names so the grouped relation never re-exposes inner
-      // column names (the block may scan the same tables as the outer
-      // one, e.g. Query 2d).
+      // with default g := f(∅). The keys always surface under fresh
+      // names so the grouped relation never re-exposes inner column
+      // names (the block may scan the same tables as the outer one,
+      // e.g. Query 2d): bare column keys via the group key's output
+      // alias, computed keys via a χ materializing them.
       LogicalOpPtr inner_rel = analysis.stripped;
       std::vector<GroupKey> keys;
       std::vector<NamedExpr> key_maps;
       std::vector<ExprPtr> join_conjuncts;
       for (const auto& o : oriented) {
         const std::string k = FreshName("k");
-        key_maps.push_back(NamedExpr{o.inner_side->Clone(), k, ""});
+        const auto* ref =
+            o.inner_side->kind() == ExprKind::kColumnRef
+                ? static_cast<const ColumnRefExpr*>(o.inner_side.get())
+                : nullptr;
+        if (ref != nullptr && !ref->is_outer()) {
+          keys.push_back(GroupKey{ref->qualifier(), ref->name(), k});
+        } else {
+          key_maps.push_back(NamedExpr{o.inner_side->Clone(), k, ""});
+          keys.push_back(GroupKey{"", k});
+        }
         join_conjuncts.push_back(
             MakeComparison(CompareOp::kEq, LocalizeOuterRefs(o.outer_side),
                            MakeColumnRef("", k)));
-        keys.push_back(GroupKey{"", k});
       }
-      inner_rel =
-          std::make_shared<MapOp>(Out(inner_rel), std::move(key_maps));
+      if (!key_maps.empty()) {
+        inner_rel =
+            std::make_shared<MapOp>(Out(inner_rel), std::move(key_maps));
+      }
       AggregateSpec agg = f.Clone();
       agg.output_name = g;
       auto grouped = std::make_shared<GroupByOp>(

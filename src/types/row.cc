@@ -67,6 +67,15 @@ bool RowSlotsEqual(const Row& a, const Row& b,
   return true;
 }
 
+bool RowKeyEq::RowSlotsEqualKey(const RowSlotsRef& ref, const Row& key) {
+  if (ref.slots->size() != key.size()) return false;
+  for (size_t i = 0; i < key.size(); ++i) {
+    const size_t slot = static_cast<size_t>((*ref.slots)[i]);
+    if (!(*ref.row)[slot].StructurallyEquals(key[i])) return false;
+  }
+  return true;
+}
+
 bool RowMultisetsEqual(std::vector<Row> a, std::vector<Row> b) {
   if (a.size() != b.size()) return false;
   auto cmp = [](const Row& x, const Row& y) {

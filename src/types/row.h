@@ -53,6 +53,46 @@ struct RowEq {
   }
 };
 
+/// Heterogeneous probe key: a row plus the slots forming the key. Lets
+/// keyed hash containers look up against stored key rows without
+/// materializing a projected row per probe.
+struct RowSlotsRef {
+  const Row* row;
+  const std::vector<int>* slots;
+};
+
+/// Transparent hash/equality over stored key rows and RowSlotsRef probes.
+/// HashRowSlots(row, slots) is hash-consistent with
+/// HashRow(ProjectRow(row, slots)), which makes the heterogeneous lookup
+/// sound. Used by the join hash table and hash aggregation, where the
+/// probe-side allocation would otherwise dominate.
+struct RowKeyHash {
+  using is_transparent = void;
+  size_t operator()(const Row& key) const { return HashRow(key); }
+  size_t operator()(const RowSlotsRef& ref) const {
+    return HashRowSlots(*ref.row, *ref.slots);
+  }
+};
+
+struct RowKeyEq {
+  using is_transparent = void;
+  bool operator()(const Row& a, const Row& b) const {
+    return RowsStructurallyEqual(a, b);
+  }
+  bool operator()(const RowSlotsRef& ref, const Row& key) const {
+    return RowSlotsEqualKey(ref, key);
+  }
+  bool operator()(const Row& key, const RowSlotsRef& ref) const {
+    return RowSlotsEqualKey(ref, key);
+  }
+  bool operator()(const RowSlotsRef& a, const RowSlotsRef& b) const {
+    return RowSlotsEqual(*a.row, *b.row, *a.slots, *b.slots);
+  }
+
+ private:
+  static bool RowSlotsEqualKey(const RowSlotsRef& ref, const Row& key);
+};
+
 }  // namespace bypass
 
 #endif  // BYPASSDB_TYPES_ROW_H_

@@ -125,13 +125,10 @@ int CompareDoubles(double a, double b) {
 
 }  // namespace
 
-TriBool Value::Compare(CompareOp op, const Value& other) const {
+// Non-int64 tail of Compare(); the all-int64 case is inlined in value.h.
+TriBool Value::CompareSlow(CompareOp op, const Value& other) const {
   if (is_null() || other.is_null()) return TriBool::kUnknown;
   if (is_numeric() && other.is_numeric()) {
-    if (is_int64() && other.is_int64()) {
-      const int64_t a = int64_value(), b = other.int64_value();
-      return FromOrdering(op, a < b ? -1 : (a > b ? 1 : 0));
-    }
     return FromOrdering(op, CompareDoubles(AsDouble(), other.AsDouble()));
   }
   if (is_string() && other.is_string()) {
@@ -145,7 +142,9 @@ TriBool Value::Compare(CompareOp op, const Value& other) const {
   return TriBool::kUnknown;
 }
 
-int Value::OrderCompare(const Value& other) const {
+// Non-int64 tail of OrderCompare(); the all-int64 case is inlined in
+// value.h.
+int Value::OrderCompareSlow(const Value& other) const {
   // NULL first, then bool < numeric < string across types.
   auto rank = [](const Value& v) {
     if (v.is_null()) return 0;
@@ -161,10 +160,6 @@ int Value::OrderCompare(const Value& other) const {
     return a - b;
   }
   if (is_numeric()) {
-    if (is_int64() && other.is_int64()) {
-      const int64_t a = int64_value(), b = other.int64_value();
-      return a < b ? -1 : (a > b ? 1 : 0);
-    }
     return CompareDoubles(AsDouble(), other.AsDouble());
   }
   const int c = string_value().compare(other.string_value());

@@ -95,11 +95,27 @@ class Value {
 
   /// SQL comparison: NULL operands yield Unknown; numeric types compare
   /// after widening; mismatched non-numeric types yield Unknown.
-  TriBool Compare(CompareOp op, const Value& other) const;
+  /// The all-int64 case is inlined: it dominates comparison traffic in
+  /// filters, join probes, and grouping.
+  TriBool Compare(CompareOp op, const Value& other) const {
+    if (const int64_t* a = std::get_if<int64_t>(&rep_)) {
+      if (const int64_t* b = std::get_if<int64_t>(&other.rep_)) {
+        return OrderingToTriBool(op, *a < *b ? -1 : (*a > *b ? 1 : 0));
+      }
+    }
+    return CompareSlow(op, other);
+  }
 
   /// Total order used for sorting and grouping keys: NULL sorts first and
   /// equals NULL (unlike SQL comparison). Returns <0, 0, >0.
-  int OrderCompare(const Value& other) const;
+  int OrderCompare(const Value& other) const {
+    if (const int64_t* a = std::get_if<int64_t>(&rep_)) {
+      if (const int64_t* b = std::get_if<int64_t>(&other.rep_)) {
+        return *a < *b ? -1 : (*a > *b ? 1 : 0);
+      }
+    }
+    return OrderCompareSlow(other);
+  }
 
   /// Structural equality (NULL == NULL). Used for grouping/dedup keys and
   /// for test assertions; distinct from SQL `=`.
@@ -117,6 +133,35 @@ class Value {
   using Rep =
       std::variant<std::monostate, bool, int64_t, double, std::string>;
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  static TriBool OrderingToTriBool(CompareOp op, int cmp) {
+    bool result = false;
+    switch (op) {
+      case CompareOp::kEq:
+        result = cmp == 0;
+        break;
+      case CompareOp::kNe:
+        result = cmp != 0;
+        break;
+      case CompareOp::kLt:
+        result = cmp < 0;
+        break;
+      case CompareOp::kLe:
+        result = cmp <= 0;
+        break;
+      case CompareOp::kGt:
+        result = cmp > 0;
+        break;
+      case CompareOp::kGe:
+        result = cmp >= 0;
+        break;
+    }
+    return result ? TriBool::kTrue : TriBool::kFalse;
+  }
+
+  TriBool CompareSlow(CompareOp op, const Value& other) const;
+  int OrderCompareSlow(const Value& other) const;
+
   Rep rep_;
 };
 

@@ -1,14 +1,12 @@
-// Randomized query-shape harness: generates random nested queries over
-// the RST schema (random linking operators, aggregates, disjunct
-// mixtures, correlation shapes, two nesting levels) and asserts canonical
-// ≡ unnested on every one. A miniature grammar-based fuzzer for the
-// rewriter.
+// Randomized query-shape harness: runs the shared query corpus
+// (tests/query_corpus.h) and asserts canonical ≡ unnested on every
+// generated query.
 #include <string>
 
 #include <gtest/gtest.h>
 
-#include "common/rng.h"
 #include "engine/database.h"
+#include "query_corpus.h"
 #include "test_util.h"
 
 namespace bypass {
@@ -16,102 +14,7 @@ namespace {
 
 using testing_util::ExpectCanonicalEqualsUnnested;
 using testing_util::LoadSmallRst;
-
-class QueryGenerator {
- public:
-  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
-
-  std::string Generate() {
-    std::string sql = "SELECT DISTINCT * FROM r WHERE ";
-    sql += Disjunction(/*allow_nested=*/true);
-    return sql;
-  }
-
-  /// Random query with a scalar block in the SELECT clause on top of a
-  /// random disjunctive WHERE.
-  std::string GenerateWithSelectClause() {
-    std::string sql = "SELECT a1, " + ScalarBlock(false) +
-                      " AS g FROM r WHERE ";
-    sql += Disjunction(/*allow_nested=*/false);
-    return sql;
-  }
-
- private:
-  std::string Theta() {
-    static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
-    return kOps[rng_.UniformInt(0, 5)];
-  }
-
-  std::string Aggregate(const char* value_col) {
-    switch (rng_.UniformInt(0, 6)) {
-      case 0:
-        return "COUNT(*)";
-      case 1:
-        return "COUNT(DISTINCT *)";
-      case 2:
-        return std::string("SUM(") + value_col + ")";
-      case 3:
-        return std::string("MIN(") + value_col + ")";
-      case 4:
-        return std::string("MAX(") + value_col + ")";
-      case 5:
-        return std::string("COUNT(DISTINCT ") + value_col + ")";
-      default:
-        return std::string("AVG(") + value_col + ")";
-    }
-  }
-
-  std::string SimplePredicate(char prefix) {
-    const int col = static_cast<int>(rng_.UniformInt(3, 4));
-    const int64_t threshold = rng_.UniformInt(0, 6);
-    return std::string(1, prefix) + std::to_string(col) + " " + Theta() +
-           " " + std::to_string(threshold);
-  }
-
-  /// A scalar block over s, correlated with r (a2 θ2 b2), optionally with
-  /// the correlation inside a disjunction and optionally with a deeper
-  /// block over t.
-  std::string ScalarBlock(bool allow_nested) {
-    std::string inner_pred = "a2 " + Theta() + " b2";
-    if (rng_.Bernoulli(0.5)) {
-      // Disjunctive correlation.
-      std::string other = rng_.Bernoulli(0.3) && allow_nested
-                              ? "b3 = (SELECT COUNT(*) FROM t "
-                                "WHERE b4 = c2)"
-                              : SimplePredicate('b');
-      inner_pred = "(" + inner_pred + " OR " + other + ")";
-    }
-    return "(SELECT " + Aggregate("b3") + " FROM s WHERE " + inner_pred +
-           ")";
-  }
-
-  std::string Disjunct(bool allow_nested) {
-    switch (rng_.UniformInt(0, 3)) {
-      case 0:
-        return SimplePredicate('a');
-      case 1:
-        return "a" + std::to_string(rng_.UniformInt(1, 2)) + " " +
-               Theta() + " " + ScalarBlock(allow_nested);
-      case 2:
-        return "EXISTS (SELECT * FROM t WHERE a3 = c2 AND " +
-               SimplePredicate('c') + ")";
-      default:
-        return "a1 IN (SELECT b1 FROM s WHERE a2 = b2)";
-    }
-  }
-
-  std::string Disjunction(bool allow_nested) {
-    const int n = static_cast<int>(rng_.UniformInt(1, 3));
-    std::string out;
-    for (int i = 0; i < n; ++i) {
-      if (i > 0) out += " OR ";
-      out += Disjunct(allow_nested);
-    }
-    return out;
-  }
-
-  Rng rng_;
-};
+using testing_util::QueryGenerator;
 
 class RandomQueryProperty : public ::testing::TestWithParam<int> {};
 
