@@ -38,41 +38,41 @@ int64_t Flags::GetInt(const std::string& name, int64_t def) const {
 }
 
 std::vector<Strategy> StudyStrategies(double timeout_seconds,
-                                      size_t batch_size) {
+                                      size_t batch_size, int num_threads) {
   const auto timeout = std::chrono::milliseconds(
       static_cast<int64_t>(timeout_seconds * 1000));
+  // The study's mapping: S1-like = nested loops without even the OR
+  // short-circuit; S2-like = nested loops + memoization; Natix canonical
+  // and Natix unnested (the paper's bypass plans).
+  const struct {
+    const char* name;
+    ExecutionStrategy strategy;
+  } presets[] = {
+      {"canonical-noshort", ExecutionStrategy::kCanonicalNoShortcut},
+      {"canonical-memo", ExecutionStrategy::kCanonicalMemo},
+      {"canonical", ExecutionStrategy::kCanonical},
+      {"unnested", ExecutionStrategy::kUnnested},
+  };
   std::vector<Strategy> strategies;
-
-  // S1-like: nested-loop evaluation without even short-cutting the OR.
-  Strategy s1{"canonical-noshort", QueryOptions{}};
-  s1.options.unnest = false;
-  s1.options.shortcut_disjunctions = false;
-
-  // S2-like: nested loops with memoization on the correlation values.
-  Strategy s2{"canonical-memo", QueryOptions{}};
-  s2.options.unnest = false;
-  s2.options.memoize_subqueries = true;
-
-  // Natix canonical: nested loops with OR short-circuit.
-  Strategy s3{"canonical", QueryOptions{}};
-  s3.options.unnest = false;
-
-  // Natix unnested: the paper's bypass plans.
-  Strategy s4{"unnested", QueryOptions{}};
-  s4.options.unnest = true;
-
-  for (Strategy* s : {&s1, &s2, &s3, &s4}) {
-    s->options.timeout = timeout;
-    s->options.collect_plans = false;
-    s->options.batch_size = batch_size;
-    strategies.push_back(*s);
+  for (const auto& preset : presets) {
+    Strategy s{preset.name, QueryOptions(preset.strategy)};
+    s.options.timeout = timeout;
+    s.options.collect_plans = false;
+    s.options.batch_size = batch_size;
+    s.options.num_threads = num_threads;
+    strategies.push_back(std::move(s));
   }
   return strategies;
 }
 
 std::string RunCell(Database* db, const std::string& sql,
                     const QueryOptions& options, int64_t* rows_out) {
-  auto result = db->Query(sql, options);
+  auto prepared = db->Prepare(sql, options);
+  if (!prepared.ok()) {
+    return "ERR(" +
+           std::string(StatusCodeToString(prepared.status().code())) + ")";
+  }
+  auto result = prepared->Execute();
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kTimeout) return "n/a";
     return "ERR(" +
@@ -82,7 +82,7 @@ std::string RunCell(Database* db, const std::string& sql,
     *rows_out = static_cast<int64_t>(result->rows.size());
   }
   char buf[32];
-  const double s = result->execution_seconds;
+  const double s = result->execution_seconds();
   if (s < 0.001) {
     std::snprintf(buf, sizeof(buf), "%.2fms", s * 1000);
   } else if (s < 1.0) {
@@ -139,13 +139,15 @@ void RunRstGrid(const std::string& experiment,
                          : flags.GetInt("rows-per-sf", default_rows_per_sf);
   const double timeout = flags.GetDouble(
       "timeout", flags.Has("paper") ? 21600.0 : 5.0);
+  const int num_threads = static_cast<int>(flags.GetInt("threads", 1));
   const std::vector<int> sfs =
       flags.Has("quick") ? std::vector<int>{1} : std::vector<int>{1, 5, 10};
 
   PrintBanner(experiment, paper_artifact,
               "rows/SF=" + std::to_string(rows_per_sf) +
                   "  per-cell timeout=" + std::to_string(timeout) +
-                  "s  (--paper for the paper's sizes; timeouts print "
+                  "s  threads=" + std::to_string(num_threads) +
+                  "  (--paper for the paper's sizes; timeouts print "
                   "n/a, as in the paper)");
   std::printf("query:%s\n", sql.c_str());
 
@@ -157,7 +159,8 @@ void RunRstGrid(const std::string& experiment,
   }
   ResultTable table(headers);
 
-  const std::vector<Strategy> strategies = StudyStrategies(timeout);
+  const std::vector<Strategy> strategies =
+      StudyStrategies(timeout, kDefaultBatchSize, num_threads);
   std::vector<std::vector<std::string>> cells(
       strategies.size(), std::vector<std::string>(headers.size()));
   size_t col = 0;

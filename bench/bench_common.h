@@ -38,8 +38,10 @@ struct Strategy {
 /// The four strategies, with the given per-cell timeout applied to all.
 /// `batch_size` overrides the executor's rows-per-batch (1 reproduces the
 /// old row-at-a-time engine; useful for before/after comparisons).
+/// `num_threads` > 1 runs every strategy's scans morsel-parallel.
 std::vector<Strategy> StudyStrategies(double timeout_seconds,
-                                      size_t batch_size = kDefaultBatchSize);
+                                      size_t batch_size = kDefaultBatchSize,
+                                      int num_threads = 1);
 
 /// Runs one cell; returns formatted seconds, or "n/a" on timeout, or
 /// "ERR(<code>)" on failure. `rows_out`, if set, receives the result
@@ -69,7 +71,7 @@ void PrintBanner(const std::string& experiment,
 /// technical-report experiments): runs every strategy over the 3×3 grid
 /// of scale factors and prints the paper-style table.
 /// Flags: --paper (full 10000 rows/SF), --rows-per-sf=N, --timeout=SECONDS,
-/// --quick (1×1 grid only).
+/// --quick (1×1 grid only), --threads=N (morsel-parallel execution).
 void RunRstGrid(const std::string& experiment,
                 const std::string& paper_artifact, const std::string& sql,
                 const Flags& flags, int64_t default_rows_per_sf);

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   ResultTable table(headers);
 
   const std::vector<Strategy> strategies = StudyStrategies(
-      timeout, static_cast<size_t>(flags.GetInt("batch", kDefaultBatchSize)));
+      timeout, static_cast<size_t>(flags.GetInt("batch", kDefaultBatchSize)),
+      static_cast<int>(flags.GetInt("threads", 1)));
   std::vector<std::vector<std::string>> cells(
       strategies.size(), std::vector<std::string>(sfs.size()));
   for (size_t c = 0; c < sfs.size(); ++c) {

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # PR benchmark suite: runs the selection microbenchmarks and the Q2d
-# end-to-end harness (median-of-5 each) and writes BENCH_PR1.json with
-# the measured medians plus speedups against the row-at-a-time seed.
+# end-to-end harness (median-of-5 each), plus a thread-scaling curve for
+# the morsel-parallel executor, and writes BENCH_PR2.json.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR1.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR2.json)
 #
 # Seed baselines were measured on the same machine at the seed commit
 # (634af06, row-at-a-time execution) with the identical protocol:
 # bench_operators --benchmark_repetitions=5 medians and five bench_q2d
-# --quick runs.
+# --quick runs. The thread-scaling section reports medians of five
+# bench_q2d --quick runs per thread count with speedups relative to the
+# 1-thread run of the same build, alongside the host's CPU count —
+# scaling is only meaningful when the host actually has spare cores.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR1.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR2.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 Q2D=${BUILD_DIR}/bench/bench_q2d
 
@@ -34,12 +37,23 @@ for i in 1 2 3 4 5; do
   "${Q2D}" --quick 2>/dev/null | tail -4 >>"${Q2D_TXT}"
 done
 
-python3 - "${OPS_JSON}" "${Q2D_TXT}" "${OUT}" <<'EOF'
+echo "== bench_q2d --quick thread scaling (1/2/4/8, 5 runs each) =="
+SCALE_TXT=$(mktemp)
+for t in 1 2 4 8; do
+  for i in 1 2 3 4 5; do
+    "${Q2D}" --quick --threads="${t}" 2>/dev/null | tail -4 |
+      sed "s/^/threads=${t} /" >>"${SCALE_TXT}"
+  done
+done
+
+NPROC=$(nproc 2>/dev/null || echo 1)
+
+python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" <<'EOF'
 import json
 import statistics
 import sys
 
-ops_json, q2d_txt, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+ops_json, q2d_txt, scale_txt, nproc, out_path = sys.argv[1:6]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -49,18 +63,33 @@ SEED = {
             "canonical": 14.0, "unnested": 7.0},
 }
 
-report = {"benchmark": "BENCH_PR1", "protocol": "median-of-5",
-          "batch_size": 1024, "operators": {}, "q2d_quick_sf0.01": {}}
+report = {"benchmark": "BENCH_PR2", "protocol": "median-of-5",
+          "batch_size": 1024, "host_cpus": int(nproc),
+          "operators": {}, "bypass_select_thread_scaling": {},
+          "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {}}
 
+ops_scale = {}
 with open(ops_json) as f:
     for b in json.load(f)["benchmarks"]:
         if b.get("aggregate_name") != "median":
             continue
         name = b["run_name"]
         ms = b["real_time"] / 1e6  # reported in ns
+        if name.startswith("BM_BypassSelectionThreads/"):
+            ops_scale[int(name.split("/")[1])] = ms
+            continue
+        if name not in SEED:
+            continue
         entry = {"median_ms": round(ms, 3), "seed_median_ms": SEED[name],
                  "speedup_vs_seed": round(SEED[name] / ms, 2)}
         report["operators"][name] = entry
+
+base = ops_scale.get(1)
+report["bypass_select_thread_scaling"] = {
+    f"threads_{t}": {"median_ms": round(ms, 3),
+                     "speedup_vs_1thread":
+                         round(base / ms, 2) if base else None}
+    for t, ms in sorted(ops_scale.items())}
 
 runs = {}
 with open(q2d_txt) as f:
@@ -75,6 +104,24 @@ for strategy, times in runs.items():
         "median_ms": ms, "seed_median_ms": seed_ms,
         "speedup_vs_seed": round(seed_ms / ms, 2)}
 
+scale = {}
+with open(scale_txt) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) == 3 and parts[2].endswith("ms"):
+            t = int(parts[0].split("=")[1])
+            scale.setdefault(parts[1], {}).setdefault(t, []).append(
+                float(parts[2][:-2]))
+for strategy, by_threads in scale.items():
+    medians = {t: statistics.median(times)
+               for t, times in sorted(by_threads.items())}
+    base = medians.get(1)
+    report["q2d_thread_scaling"][strategy] = {
+        f"threads_{t}": {"median_ms": ms,
+                         "speedup_vs_1thread":
+                             round(base / ms, 2) if base else None}
+        for t, ms in medians.items()}
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -82,4 +129,4 @@ print(json.dumps(report, indent=2))
 print(f"\nwrote {out_path}")
 EOF
 
-rm -f "${OPS_JSON}" "${Q2D_TXT}"
+rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}"

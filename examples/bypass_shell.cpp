@@ -39,7 +39,7 @@ void PrintResult(const QueryResult& result) {
     std::printf("... (%zu more rows)\n", result.rows.size() - shown);
   }
   std::printf("-- %zu rows in %.2f ms", result.rows.size(),
-              result.execution_seconds * 1000);
+              result.execution_seconds() * 1000);
   if (!result.applied_rules.empty()) {
     std::printf("; equivalences:");
     for (const std::string& rule : result.applied_rules) {

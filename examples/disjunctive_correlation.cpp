@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
       std::printf(
           "canonical: %7.1f ms (%lld block runs)   unnested: %7.1f ms   "
           "results %s\n\n",
-          base->execution_seconds * 1000,
+          base->execution_seconds() * 1000,
           static_cast<long long>(base->stats.subquery_executions),
-          opt->execution_seconds * 1000, same ? "MATCH" : "DIFFER!");
+          opt->execution_seconds() * 1000, same ? "MATCH" : "DIFFER!");
     } else {
       std::printf("error: %s / %s\n\n",
                   base.ok() ? "ok" : base.status().ToString().c_str(),

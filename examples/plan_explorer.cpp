@@ -42,7 +42,7 @@ void Run(Database* db, const std::string& sql) {
     if (!r.ok()) return r.status().ToString();
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.2f ms, %zu rows",
-                  r->execution_seconds * 1000, r->rows.size());
+                  r->execution_seconds() * 1000, r->rows.size());
     return buf;
   };
   std::printf("canonical: %s\n", describe(base).c_str());

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
     }
     if (expected_rows == 0) expected_rows = result->rows.size();
     std::printf("%-28s %8.2f ms   (%zu rows, %lld subquery runs)%s\n",
-                mode.name, result->execution_seconds * 1000,
+                mode.name, result->execution_seconds() * 1000,
                 result->rows.size(),
                 static_cast<long long>(result->stats.subquery_executions),
                 result->rows.size() == expected_rows ? "" : "  MISMATCH!");

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "algebra/plan_util.h"
+#include "exec/subplan_impl.h"
 #include "expr/expr_util.h"
 #include "frontend/translator.h"
 #include "planner/cost_model.h"
@@ -38,18 +39,19 @@ void ReorderDisjunctions(const LogicalOpPtr& root, bool subquery_first) {
   });
 }
 
-struct PreparedQuery {
+/// The logical-plan half of query preparation.
+struct PlannedLogical {
   LogicalOpPtr canonical;
   LogicalOpPtr optimized;
   std::vector<std::string> applied_rules;
 };
 
-Result<PreparedQuery> Prepare(const Catalog* catalog,
-                              const std::string& sql,
-                              const QueryOptions& options) {
+Result<PlannedLogical> PlanLogical(const Catalog* catalog,
+                                   const std::string& sql,
+                                   const QueryOptions& options) {
   BYPASS_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
   Translator translator(catalog);
-  PreparedQuery out;
+  PlannedLogical out;
   BYPASS_ASSIGN_OR_RETURN(out.canonical, translator.Translate(*stmt));
 
   LogicalOpPtr working = CloneLogicalPlan(out.canonical);
@@ -77,94 +79,145 @@ Result<PreparedQuery> Prepare(const Catalog* catalog,
 
 }  // namespace
 
+// ---------------------------------------------------------- PreparedQuery
+
+Result<QueryResult> PreparedQuery::Execute() { return Execute(options_); }
+
+Result<QueryResult> PreparedQuery::Execute(
+    const QueryOptions& run_options) {
+  QueryResult result;
+  result.schema = plan_.output_schema;
+  result.applied_rules = applied_rules_;
+  result.optimize_time = optimize_time_;
+  if (run_options.collect_plans) {
+    result.canonical_plan = canonical_plan_;
+    result.optimized_plan = optimized_plan_;
+    result.physical_plan = plan_.ToString();
+  }
+
+  const int num_threads =
+      run_options.num_threads < 1 ? 1 : run_options.num_threads;
+  ExecContext ctx;
+  ctx.set_stats(&result.stats);
+  ctx.set_batch_size(run_options.batch_size);
+  ctx.set_morsel_size(run_options.morsel_size);
+  ctx.set_num_worker_slots(num_threads);
+  SharedWorkerStats worker_stats;
+  if (num_threads > 1) {
+    ctx.set_pool(db_->EnsurePool(num_threads));
+    // Route statistics to padded per-worker slots; aggregated below.
+    worker_stats =
+        std::make_shared<std::vector<ExecStatsSlot>>(
+            static_cast<size_t>(num_threads));
+    ctx.set_worker_stats(worker_stats);
+  }
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (run_options.timeout.has_value()) {
+    deadline = std::chrono::steady_clock::now() + *run_options.timeout;
+    ctx.set_deadline(*deadline);
+  }
+  for (ExecSubplan* subplan : plan_.subplans) {
+    // Fresh memo caches per run keep repeated Execute calls independent
+    // (benchmark repetitions must not inherit earlier runs' caches).
+    subplan->ClearCache();
+    subplan->Configure(deadline, &result.stats, ctx.batch_size(),
+                       worker_stats, num_threads);
+  }
+
+  const auto exec_start = std::chrono::steady_clock::now();
+  BYPASS_RETURN_IF_ERROR(RunPlan(&plan_, &ctx));
+  result.execution_time = std::chrono::steady_clock::now() - exec_start;
+  if (worker_stats != nullptr) {
+    for (const ExecStatsSlot& slot : *worker_stats) {
+      result.stats.Add(slot.stats);
+    }
+  }
+  if (run_options.collect_plans) {
+    result.operator_stats = plan_.StatsString();
+  }
+  result.rows = plan_.sink->TakeRows();
+  return result;
+}
+
+// --------------------------------------------------------------- Database
+
+Database::~Database() = default;
+
 Result<Table*> Database::CreateTable(const std::string& name,
                                      Schema schema) {
   return catalog_.CreateTable(name, std::move(schema));
 }
 
-Result<QueryResult> Database::Query(const std::string& sql,
-                                    const QueryOptions& options) {
-  const auto optimize_start = std::chrono::steady_clock::now();
-  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared,
-                          Prepare(&catalog_, sql, options));
+WorkerPool* Database::EnsurePool(int num_threads) {
+  if (pool_ == nullptr || pool_->num_workers() != num_threads) {
+    pool_ = std::make_unique<WorkerPool>(num_threads);
+  }
+  return pool_.get();
+}
 
+Result<PreparedQuery> Database::Prepare(const std::string& sql,
+                                        const QueryOptions& options) {
+  const auto optimize_start = std::chrono::steady_clock::now();
+  BYPASS_ASSIGN_OR_RETURN(PlannedLogical planned,
+                          PlanLogical(&catalog_, sql, options));
   PlannerOptions popts;
   popts.memoize_subqueries = options.memoize_subqueries;
   Planner planner(&catalog_, popts);
-  BYPASS_ASSIGN_OR_RETURN(PhysicalPlan plan,
-                          planner.Lower(prepared.optimized));
-  const auto optimize_end = std::chrono::steady_clock::now();
-
-  QueryResult result;
-  result.schema = plan.output_schema;
-  result.applied_rules = std::move(prepared.applied_rules);
-  result.optimize_seconds =
-      std::chrono::duration<double>(optimize_end - optimize_start)
-          .count();
+  PreparedQuery prepared;
+  BYPASS_ASSIGN_OR_RETURN(prepared.plan_,
+                          planner.Lower(planned.optimized));
+  prepared.optimize_time_ =
+      std::chrono::steady_clock::now() - optimize_start;
+  prepared.db_ = this;
+  prepared.options_ = options;
+  prepared.applied_rules_ = std::move(planned.applied_rules);
   if (options.collect_plans) {
-    result.canonical_plan = PlanToString(*prepared.canonical);
-    result.optimized_plan = PlanToString(*prepared.optimized);
-    result.physical_plan = plan.ToString();
+    prepared.canonical_plan_ = PlanToString(*planned.canonical);
+    prepared.optimized_plan_ = PlanToString(*planned.optimized);
   }
+  return prepared;
+}
 
-  ExecContext ctx;
-  ctx.set_stats(&result.stats);
-  ctx.set_batch_size(options.batch_size);
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (options.timeout.has_value()) {
-    deadline = std::chrono::steady_clock::now() + *options.timeout;
-    ctx.set_deadline(*deadline);
-  }
-  for (ExecSubplan* subplan : plan.subplans) {
-    subplan->Configure(deadline, &result.stats, ctx.batch_size());
-  }
-
-  const auto exec_start = std::chrono::steady_clock::now();
-  BYPASS_RETURN_IF_ERROR(RunPlan(&plan, &ctx));
-  const auto exec_end = std::chrono::steady_clock::now();
-  result.execution_seconds =
-      std::chrono::duration<double>(exec_end - exec_start).count();
-  if (options.collect_plans) {
-    result.operator_stats = plan.StatsString();
-  }
-  result.rows = plan.sink->TakeRows();
-  return result;
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options) {
+  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql, options));
+  return prepared.Execute();
 }
 
 Result<std::string> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
-  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared,
-                          Prepare(&catalog_, sql, options));
+  BYPASS_ASSIGN_OR_RETURN(PlannedLogical planned,
+                          PlanLogical(&catalog_, sql, options));
   PlannerOptions popts;
   popts.memoize_subqueries = options.memoize_subqueries;
   Planner planner(&catalog_, popts);
   BYPASS_ASSIGN_OR_RETURN(PhysicalPlan plan,
-                          planner.Lower(prepared.optimized));
+                          planner.Lower(planned.optimized));
 
   std::ostringstream os;
   os << "nesting structure: "
-     << NestingStructureToString(ClassifyNesting(*prepared.canonical))
+     << NestingStructureToString(ClassifyNesting(*planned.canonical))
      << "\n";
   const PlanEstimate canonical_est =
-      EstimatePlan(*prepared.canonical, &catalog_);
+      EstimatePlan(*planned.canonical, &catalog_);
   os << "canonical logical plan (est. " << canonical_est.rows
      << " rows, cost " << canonical_est.cost << "):\n"
-     << PlanToString(*prepared.canonical);
+     << PlanToString(*planned.canonical);
   if (options.unnest) {
     os << "applied equivalences:";
-    if (prepared.applied_rules.empty()) {
+    if (planned.applied_rules.empty()) {
       os << " (none)";
     } else {
-      for (const std::string& rule : prepared.applied_rules) {
+      for (const std::string& rule : planned.applied_rules) {
         os << " " << rule;
       }
     }
     os << "\n";
     const PlanEstimate optimized_est =
-        EstimatePlan(*prepared.optimized, &catalog_);
+        EstimatePlan(*planned.optimized, &catalog_);
     os << "rewritten logical plan (est. " << optimized_est.rows
        << " rows, cost " << optimized_est.cost << "):\n"
-       << PlanToString(*prepared.optimized);
+       << PlanToString(*planned.optimized);
   }
   os << plan.ToString();
   return os.str();

@@ -1,71 +1,86 @@
 // Database: the library's top-level facade. Owns the catalog and drives
-// parse → translate → (unnest) → lower → execute, with per-query knobs
-// that reproduce every evaluation strategy in the paper's study:
+// parse → translate → (unnest) → lower → execute. Plan-shape strategies
+// (canonical, canonical-memo, unnested, ...) are selected through
+// QueryOptions / ExecutionStrategy — see engine/query_options.h.
 //
-//   canonical               unnest=false (nested-loop subqueries)
-//   canonical, no shortcut  + shortcut_disjunctions=false (S1/S3-like)
-//   canonical-memo          + memoize_subqueries=true (S2-like)
-//   unnested                unnest=true (the paper's bypass plans)
+// Two entry points:
+//   Query(sql, options)    one-shot: prepare + execute.
+//   Prepare(sql, options)  parse/optimize/lower once, Execute() many
+//                          times — each run may vary the execution knobs
+//                          (threads, batch size, timeout).
 #ifndef BYPASSDB_ENGINE_DATABASE_H_
 #define BYPASSDB_ENGINE_DATABASE_H_
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/query_options.h"
 #include "exec/exec_context.h"
+#include "exec/executor.h"
+#include "exec/worker_pool.h"
 #include "rewrite/unnest.h"
 #include "types/row.h"
 #include "types/schema.h"
 
 namespace bypass {
 
-struct QueryOptions {
-  /// Apply the paper's unnesting equivalences.
-  bool unnest = true;
-  /// With `unnest`, keep the canonical plan anyway when the cost model
-  /// estimates it cheaper (paper Sec. 1: "some unnesting strategies do
-  /// not always result in better plans" — e.g. Eqv. 5's quadratic pair
-  /// stream on queries whose canonical evaluation is also quadratic).
-  bool cost_based = false;
-  /// Memoize correlated subquery results by correlation values.
-  bool memoize_subqueries = false;
-  /// When false, disjunctions are reordered so nested blocks are
-  /// evaluated first — simulating an optimizer that does not short-cut
-  /// ORs (the worst commercial behaviour observed in the paper).
-  bool shortcut_disjunctions = true;
-  /// Abort the execution after this long (paper: six hours → "n/a").
-  std::optional<std::chrono::milliseconds> timeout;
-  /// Fine-grained rewriter knobs (enable_unnesting is overridden by
-  /// `unnest` above).
-  RewriteOptions rewrite;
-  /// Record plan strings in the result (small cost; on by default).
-  bool collect_plans = true;
-  /// Rows per batch flowing between physical operators. 1 degenerates to
-  /// row-at-a-time execution (useful as a differential-testing oracle).
-  size_t batch_size = kDefaultBatchSize;
-};
+class Database;
 
-struct QueryResult {
-  Schema schema;
-  std::vector<Row> rows;
-  ExecStats stats;
-  /// Wall-clock execution time (excludes parse/optimize).
-  double execution_seconds = 0;
-  double optimize_seconds = 0;
-  std::string canonical_plan;   ///< logical plan before unnesting
-  std::string optimized_plan;   ///< logical plan after unnesting
-  std::string physical_plan;
-  std::string operator_stats;   ///< per-operator emitted-row accounting
-  std::vector<std::string> applied_rules;  ///< e.g. {"Eqv.2", "Eqv.1"}
+/// A parsed, optimized, and lowered SELECT, ready to run repeatedly.
+/// Movable, not copyable; must not outlive its Database, and runs are not
+/// reentrant (one Execute at a time per PreparedQuery). Plan-shape
+/// options are baked in at Prepare time; each Execute may override the
+/// execution knobs (num_threads, morsel_size, batch_size, timeout,
+/// collect_plans).
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  /// Runs with the options given at Prepare time.
+  Result<QueryResult> Execute();
+  /// Runs with `run_options`' execution knobs. Plan-shape knobs (unnest,
+  /// memoize_subqueries, ...) are ignored here — the plan is fixed.
+  Result<QueryResult> Execute(const QueryOptions& run_options);
+
+  const Schema& output_schema() const { return plan_.output_schema; }
+  const QueryOptions& options() const { return options_; }
+  const std::vector<std::string>& applied_rules() const {
+    return applied_rules_;
+  }
+  /// Plan strings; empty when prepared with collect_plans=false.
+  const std::string& canonical_plan() const { return canonical_plan_; }
+  const std::string& optimized_plan() const { return optimized_plan_; }
+  std::string physical_plan() const { return plan_.ToString(); }
+  /// Time spent in parse/rewrite/lower during Prepare.
+  std::chrono::steady_clock::duration optimize_time() const {
+    return optimize_time_;
+  }
+
+ private:
+  friend class Database;
+  PreparedQuery() = default;
+
+  Database* db_ = nullptr;
+  QueryOptions options_;
+  PhysicalPlan plan_;
+  std::vector<std::string> applied_rules_;
+  std::string canonical_plan_;
+  std::string optimized_plan_;
+  std::chrono::steady_clock::duration optimize_time_{};
 };
 
 class Database {
  public:
   Database() = default;
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -75,9 +90,16 @@ class Database {
   /// DDL convenience: creates a table with the given columns.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
 
-  /// Runs one SELECT statement.
+  /// Runs one SELECT statement (Prepare + Execute).
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& options = QueryOptions());
+
+  /// Parses, optimizes, and lowers once; the returned handle executes
+  /// many times without re-planning (subquery memo caches are cleared
+  /// between runs, so repetitions are independent).
+  Result<PreparedQuery> Prepare(
+      const std::string& sql,
+      const QueryOptions& options = QueryOptions());
 
   /// Multi-line EXPLAIN-style report: classification, canonical and
   /// rewritten logical plans, applied equivalences, physical plan.
@@ -85,7 +107,14 @@ class Database {
                               const QueryOptions& options = QueryOptions());
 
  private:
+  friend class PreparedQuery;
+
+  /// Lazily (re)builds the shared worker pool so it has exactly
+  /// `num_threads` workers.
+  WorkerPool* EnsurePool(int num_threads);
+
   Catalog catalog_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace bypass

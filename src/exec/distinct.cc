@@ -3,12 +3,16 @@
 namespace bypass {
 
 Status DistinctPhysOp::Consume(int, RowBatch batch) {
-  std::vector<uint32_t>& sel = batch.selection();
-  size_t kept = 0;
-  for (size_t i = 0; i < sel.size(); ++i) {
-    if (seen_.insert(batch.row(i)).second) sel[kept++] = sel[i];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint32_t>& sel = batch.selection();
+    size_t kept = 0;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (seen_.insert(batch.row(i)).second) sel[kept++] = sel[i];
+    }
+    sel.resize(kept);
   }
-  sel.resize(kept);
+  // Emit outside the lock so downstream work does not serialize.
   return Emit(kPortOut, std::move(batch));
 }
 

@@ -1,7 +1,12 @@
 // Duplicate elimination over full rows (streaming: first occurrence wins).
+// Parallel-safe via a mutex over the global seen-set: dedup must be
+// global, and "first occurrence" under concurrent morsels means whichever
+// worker inserts first (any one duplicate survives — multiset-equivalent
+// to the serial result).
 #ifndef BYPASSDB_EXEC_DISTINCT_H_
 #define BYPASSDB_EXEC_DISTINCT_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -18,6 +23,7 @@ class DistinctPhysOp : public UnaryPhysOp {
   std::string Label() const override { return "Distinct"; }
 
  private:
+  std::mutex mu_;
   std::unordered_set<Row, RowHash, RowEq> seen_;
 };
 

@@ -1,17 +1,33 @@
 // Per-execution runtime state shared by all operators of one (sub)plan
 // execution: the correlation row, the time budget, cancellation, and
 // counters reported by EXPLAIN ANALYZE-style output and the benchmarks.
+//
+// Threading contract (see DESIGN.md §5): during a morsel-parallel phase
+// the context is read concurrently by all workers, so every field
+// mutated mid-execution (cancellation) is atomic, and statistics are
+// routed to per-worker slots aggregated after the run. Fields set before
+// RunPlan (deadline, batch size, worker count) are immutable while rows
+// flow.
 #ifndef BYPASSDB_EXEC_EXEC_CONTEXT_H_
 #define BYPASSDB_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/status.h"
+#include "exec/worker_pool.h"
 #include "types/row.h"
 #include "types/row_batch.h"
 
 namespace bypass {
+
+/// Default rows per morsel (QueryOptions::morsel_size): small enough to
+/// load-balance the small-table end of the study, large enough that a
+/// morsel amortizes several batches of dispatch overhead.
+inline constexpr size_t kDefaultMorselSize = 4096;
 
 /// Query-level statistics, shared between a query's main plan and all of
 /// its subplan executions.
@@ -20,11 +36,29 @@ struct ExecStats {
   int64_t rows_emitted = 0;
   int64_t subquery_executions = 0;
   int64_t subquery_cache_hits = 0;
+
+  void Add(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    rows_emitted += other.rows_emitted;
+    subquery_executions += other.subquery_executions;
+    subquery_cache_hits += other.subquery_cache_hits;
+  }
 };
+
+/// One cache-line-padded ExecStats per worker, shared by the main plan
+/// and every subplan context of a parallel query. Each worker writes only
+/// its own slot (indexed by CurrentWorkerId()); the engine aggregates the
+/// slots into the user-visible ExecStats after the run.
+struct alignas(64) ExecStatsSlot {
+  ExecStats stats;
+};
+using SharedWorkerStats = std::shared_ptr<std::vector<ExecStatsSlot>>;
 
 class ExecContext {
  public:
   ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
 
   /// The enclosing block's current tuple during subplan execution;
   /// nullptr for top-level plans.
@@ -39,22 +73,63 @@ class ExecContext {
   }
   void clear_deadline() { has_deadline_ = false; }
 
-  /// Early-termination flag (EXISTS probing); producers poll it.
-  bool cancelled() const { return cancelled_; }
-  void set_cancelled(bool v) { cancelled_ = v; }
+  /// Early-termination flag (EXISTS probing, LIMIT); producers poll it.
+  /// Written by sinks on worker threads, hence atomic; relaxed order is
+  /// enough — it only accelerates shutdown, correctness never depends on
+  /// observing it promptly.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void set_cancelled(bool v) {
+    cancelled_.store(v, std::memory_order_relaxed);
+  }
 
   /// When set, the collector sink cancels the execution after the first
   /// result row (EXISTS only needs one witness).
   bool limit_one() const { return limit_one_; }
   void set_limit_one(bool v) { limit_one_ = v; }
 
-  ExecStats* stats() { return stats_; }
+  /// Stats sink for the current worker: with per-worker slots installed
+  /// (parallel queries) each worker gets its own padded slot; otherwise
+  /// the single user-provided struct.
+  ExecStats* stats() {
+    if (worker_stats_ != nullptr) {
+      return &(*worker_stats_)[static_cast<size_t>(CurrentWorkerId())]
+                  .stats;
+    }
+    return stats_;
+  }
   void set_stats(ExecStats* stats) { stats_ = stats; }
+  void set_worker_stats(SharedWorkerStats worker_stats) {
+    worker_stats_ = std::move(worker_stats);
+  }
+  const SharedWorkerStats& worker_stats() const { return worker_stats_; }
 
   /// Rows per batch flowing between operators. 1 degenerates to the
   /// original row-at-a-time execution (the differential-test oracle).
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Rows per morsel handed to a worker in one dispatch.
+  size_t morsel_size() const { return morsel_size_; }
+  void set_morsel_size(size_t n) {
+    morsel_size_ = n == 0 ? kDefaultMorselSize : n;
+  }
+
+  /// The pool driving this plan's scan pipelines; nullptr (or a 1-worker
+  /// pool) runs the serial executor. Subplan contexts never carry a pool:
+  /// nested blocks execute serially on whichever worker evaluates them.
+  WorkerPool* pool() const { return pool_; }
+  void set_pool(WorkerPool* pool) { pool_ = pool; }
+
+  /// Number of per-worker state slots operators must allocate. This is
+  /// the *query's* worker count even for (serial) subplan contexts,
+  /// because a subplan runs on the worker thread that evaluates it and
+  /// its operators index state by that worker's id.
+  int num_worker_slots() const { return num_worker_slots_; }
+  void set_num_worker_slots(int n) {
+    num_worker_slots_ = n < 1 ? 1 : n;
+  }
 
   /// Cheap periodic budget check; called once per batch by sources and
   /// every few thousand pairs inside nested-loop operators.
@@ -74,11 +149,15 @@ class ExecContext {
  private:
   const Row* outer_row_ = nullptr;
   size_t batch_size_ = kDefaultBatchSize;
+  size_t morsel_size_ = kDefaultMorselSize;
+  WorkerPool* pool_ = nullptr;
+  int num_worker_slots_ = 1;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;
-  bool cancelled_ = false;
+  std::atomic<bool> cancelled_{false};
   bool limit_one_ = false;
   ExecStats* stats_ = nullptr;
+  SharedWorkerStats worker_stats_;
 };
 
 }  // namespace bypass

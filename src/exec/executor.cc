@@ -1,8 +1,35 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace bypass {
+
+namespace {
+
+/// Drives one source: serially when no (multi-worker) pool is attached,
+/// otherwise by splitting the table into fixed-size morsels claimed
+/// dynamically by the pool's workers. The finish is always propagated by
+/// the driver thread after the workers joined, so pipeline breakers merge
+/// their thread-local partials single-threaded.
+Status DriveSource(TableScanOp* source, ExecContext* ctx) {
+  WorkerPool* pool = ctx->pool();
+  if (pool == nullptr || pool->num_workers() <= 1) {
+    return source->Run();
+  }
+  const size_t num_rows = source->num_rows();
+  const size_t morsel = ctx->morsel_size();
+  const size_t num_morsels = (num_rows + morsel - 1) / morsel;
+  BYPASS_RETURN_IF_ERROR(
+      pool->ParallelFor(num_morsels, [&](size_t m) {
+        const size_t begin = m * morsel;
+        return source->RunMorsel(begin,
+                                 std::min(begin + morsel, num_rows));
+      }));
+  return source->FinishSource();
+}
+
+}  // namespace
 
 Status RunPlan(PhysicalPlan* plan, ExecContext* ctx) {
   for (const PhysOpPtr& op : plan->ops) {
@@ -12,7 +39,7 @@ Status RunPlan(PhysicalPlan* plan, ExecContext* ctx) {
     BYPASS_RETURN_IF_ERROR(op->Prepare(ctx));
   }
   for (TableScanOp* source : plan->sources) {
-    BYPASS_RETURN_IF_ERROR(source->Run());
+    BYPASS_RETURN_IF_ERROR(DriveSource(source, ctx));
   }
   return Status::OK();
 }

@@ -2,12 +2,25 @@
 
 namespace bypass {
 
+Status FilterOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(UnaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
+}
+
 Status FilterOp::Consume(int, RowBatch batch) {
-  sel_true_.clear();
+  Scratch& scratch = scratch_[static_cast<size_t>(CurrentWorkerId())];
+  scratch.sel_true.clear();
   BYPASS_RETURN_IF_ERROR(predicate_->PartitionBatch(
-      batch, ctx_->outer_row(), &sel_true_, nullptr, nullptr));
-  batch.selection().swap(sel_true_);
+      batch, ctx_->outer_row(), &scratch.sel_true, nullptr, nullptr));
+  batch.selection().swap(scratch.sel_true);
   return Emit(kPortOut, std::move(batch));
+}
+
+Status BypassFilterOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(UnaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
 }
 
 Status BypassFilterOp::Consume(int, RowBatch batch) {
@@ -15,12 +28,16 @@ Status BypassFilterOp::Consume(int, RowBatch batch) {
   // keeps the batch (selection replaced), the negative stream gets a view
   // over the same storage. False and unknown both route negative
   // (two-valued on NULL-free data, SQL-correct beyond), in input order.
-  sel_true_.clear();
-  sel_other_.clear();
+  Scratch& scratch = scratch_[static_cast<size_t>(CurrentWorkerId())];
+  scratch.sel_true.clear();
+  scratch.sel_other.clear();
   BYPASS_RETURN_IF_ERROR(predicate_->PartitionBatch(
-      batch, ctx_->outer_row(), &sel_true_, &sel_other_, &sel_other_));
-  RowBatch negative = batch.ShareWithSelection(std::move(sel_other_));
-  batch.selection().swap(sel_true_);
+      batch, ctx_->outer_row(), &scratch.sel_true, &scratch.sel_other,
+      &scratch.sel_other));
+  RowBatch negative =
+      batch.ShareWithSelection(std::move(scratch.sel_other));
+  scratch.sel_other.clear();
+  batch.selection().swap(scratch.sel_true);
   BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(batch)));
   return Emit(kPortNegative, std::move(negative));
 }

@@ -2,7 +2,10 @@
 // tuples failing (or unknown on) the predicate to the negative port
 // instead of dropping them — the short-circuit machinery of the paper's
 // disjunctive unnesting. Both evaluate the predicate once per batch and
-// partition the selection vector; the rows themselves never move.
+// partition the selection vector; the rows themselves never move. The
+// split is a pure partition of the worker's own selection vector, so
+// concurrent morsel workers need no synchronization (scratch vectors are
+// per worker).
 #ifndef BYPASSDB_EXEC_FILTER_H_
 #define BYPASSDB_EXEC_FILTER_H_
 
@@ -19,14 +22,19 @@ class FilterOp : public UnaryPhysOp {
   explicit FilterOp(ExprPtr predicate)
       : predicate_(std::move(predicate)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override {
     return "Filter " + predicate_->ToString();
   }
 
  private:
+  struct alignas(64) Scratch {
+    std::vector<uint32_t> sel_true;
+  };
+
   ExprPtr predicate_;
-  std::vector<uint32_t> sel_true_;  // per-batch scratch
+  std::vector<Scratch> scratch_;  // per-worker per-batch scratch
 };
 
 class BypassFilterOp : public UnaryPhysOp {
@@ -35,15 +43,20 @@ class BypassFilterOp : public UnaryPhysOp {
       : UnaryPhysOp(/*num_out_ports=*/2),
         predicate_(std::move(predicate)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override {
     return "BypassFilter± " + predicate_->ToString();
   }
 
  private:
+  struct alignas(64) Scratch {
+    std::vector<uint32_t> sel_true;
+    std::vector<uint32_t> sel_other;
+  };
+
   ExprPtr predicate_;
-  std::vector<uint32_t> sel_true_;   // per-batch scratch
-  std::vector<uint32_t> sel_other_;  // per-batch scratch
+  std::vector<Scratch> scratch_;  // per-worker per-batch scratch
 };
 
 }  // namespace bypass

@@ -1,8 +1,38 @@
 #include "exec/group_by.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace bypass {
+
+namespace {
+
+/// Folds `src` into `dst`: groups absent from `dst` move over wholesale,
+/// overlapping groups are combined with AggregatorSet::Merge. Runs on the
+/// single-threaded finish path.
+template <typename GroupMap>
+Status MergeGroupMaps(GroupMap* dst, GroupMap* src) {
+  if (dst->empty()) {
+    *dst = std::move(*src);
+    src->clear();
+    return Status::OK();
+  }
+  for (auto it = src->begin(); it != src->end();) {
+    auto next = std::next(it);
+    auto dst_it = dst->find(it->first);
+    if (dst_it == dst->end()) {
+      dst->insert(src->extract(it));
+    } else {
+      BYPASS_RETURN_IF_ERROR(dst_it->second->Merge(*it->second));
+    }
+    it = next;
+  }
+  src->clear();
+  return Status::OK();
+}
+
+}  // namespace
 
 // ------------------------------------------------------------ HashGroupBy
 
@@ -14,28 +44,45 @@ HashGroupByOp::HashGroupByOp(std::vector<int> key_slots,
       scalar_(scalar) {
   BYPASS_CHECK_MSG(!scalar_ || key_slots_.empty(),
                    "scalar aggregation cannot have group keys");
+  partials_.resize(1);
   if (scalar_) {
-    scalar_group_ = std::make_unique<AggregatorSet>(&aggregates_);
+    partials_[0].scalar = std::make_unique<AggregatorSet>(&aggregates_);
   }
 }
 
+Status HashGroupByOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(UnaryPhysOp::Prepare(ctx));
+  partials_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  if (scalar_) {
+    for (Partial& p : partials_) {
+      if (p.scalar == nullptr) {
+        p.scalar = std::make_unique<AggregatorSet>(&aggregates_);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 void HashGroupByOp::Reset() {
-  groups_.clear();
-  if (scalar_group_) scalar_group_->Reset();
+  for (Partial& p : partials_) {
+    p.groups.clear();
+    if (p.scalar) p.scalar->Reset();
+  }
 }
 
 Status HashGroupByOp::Consume(int, RowBatch batch) {
+  Partial& partial = partials_[static_cast<size_t>(CurrentWorkerId())];
   const size_t n = batch.size();
   for (size_t i = 0; i < n; ++i) {
     const Row& row = batch.row(i);
     EvalContext ectx{&row, ctx_->outer_row()};
     if (scalar_) {
-      BYPASS_RETURN_IF_ERROR(scalar_group_->Accumulate(ectx));
+      BYPASS_RETURN_IF_ERROR(partial.scalar->Accumulate(ectx));
       continue;
     }
-    auto it = groups_.find(RowSlotsRef{&row, &key_slots_});
-    if (it == groups_.end()) {
-      it = groups_
+    auto it = partial.groups.find(RowSlotsRef{&row, &key_slots_});
+    if (it == partial.groups.end()) {
+      it = partial.groups
                .emplace(ProjectRow(row, key_slots_),
                         std::make_unique<AggregatorSet>(&aggregates_))
                .first;
@@ -46,12 +93,24 @@ Status HashGroupByOp::Consume(int, RowBatch batch) {
 }
 
 Status HashGroupByOp::FinishPort(int) {
+  // Finish runs single-threaded: merge the worker partials into slot 0,
+  // then finalize. With one worker slot this is a no-op pass-through.
+  Partial& merged = partials_[0];
+  for (size_t w = 1; w < partials_.size(); ++w) {
+    if (scalar_) {
+      BYPASS_RETURN_IF_ERROR(merged.scalar->Merge(*partials_[w].scalar));
+      partials_[w].scalar->Reset();
+    } else {
+      BYPASS_RETURN_IF_ERROR(
+          MergeGroupMaps(&merged.groups, &partials_[w].groups));
+    }
+  }
   if (scalar_) {
     Row out;
-    BYPASS_RETURN_IF_ERROR(scalar_group_->FinalizeInto(&out));
+    BYPASS_RETURN_IF_ERROR(merged.scalar->FinalizeInto(&out));
     BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
   } else {
-    for (const auto& [key, aggs] : groups_) {
+    for (const auto& [key, aggs] : merged.groups) {
       Row out = key;
       BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&out));
       BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
@@ -77,23 +136,51 @@ void BinaryGroupByHashOp::Reset() {
   empty_group_values_.clear();
 }
 
-Status BinaryGroupByHashOp::BuildFromRight() {
-  // Phase 1: accumulate one AggregatorSet per distinct right key.
-  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowKeyHash,
-                     RowKeyEq>
-      groups;
-  for (const Row& row : right_rows()) {
+Status BinaryGroupByHashOp::AccumulateRange(size_t begin, size_t end,
+                                            GroupMap* groups) const {
+  const std::vector<Row>& rows = right_rows();
+  for (size_t r = begin; r < end; ++r) {
+    const Row& row = rows[r];
     const Value& key_val = row[static_cast<size_t>(right_key_slot_)];
     if (key_val.is_null()) continue;  // SQL '=' never matches NULL
-    auto it = groups.find(RowSlotsRef{&row, &right_key_slots_});
-    if (it == groups.end()) {
+    auto it = groups->find(RowSlotsRef{&row, &right_key_slots_});
+    if (it == groups->end()) {
       it = groups
-               .emplace(Row{key_val},
-                        std::make_unique<AggregatorSet>(&aggregates_))
+               ->emplace(Row{key_val},
+                         std::make_unique<AggregatorSet>(&aggregates_))
                .first;
     }
     EvalContext ectx{&row, ctx_->outer_row()};
     BYPASS_RETURN_IF_ERROR(it->second->Accumulate(ectx));
+  }
+  return Status::OK();
+}
+
+Status BinaryGroupByHashOp::BuildFromRight() {
+  // Phase 1: accumulate one AggregatorSet per distinct right key. Right
+  // finish runs on the driver after the pool drained, so the pool is free
+  // to parallelize the build over contiguous row ranges.
+  const size_t n = right_rows().size();
+  GroupMap groups;
+  WorkerPool* pool = ctx_->pool();
+  constexpr size_t kParallelBuildThreshold = 4096;
+  if (pool != nullptr && pool->num_workers() > 1 &&
+      n >= kParallelBuildThreshold) {
+    const size_t num_tasks = static_cast<size_t>(pool->num_workers());
+    const size_t chunk = (n + num_tasks - 1) / num_tasks;
+    std::vector<GroupMap> task_groups(num_tasks);
+    BYPASS_RETURN_IF_ERROR(pool->ParallelFor(
+        num_tasks, [&](size_t t) -> Status {
+          const size_t begin = t * chunk;
+          const size_t end = std::min(begin + chunk, n);
+          if (begin >= end) return Status::OK();
+          return AccumulateRange(begin, end, &task_groups[t]);
+        }));
+    for (GroupMap& tg : task_groups) {
+      BYPASS_RETURN_IF_ERROR(MergeGroupMaps(&groups, &tg));
+    }
+  } else {
+    BYPASS_RETURN_IF_ERROR(AccumulateRange(0, n, &groups));
   }
   // Phase 2: finalize into value rows probed per left tuple.
   group_values_.clear();

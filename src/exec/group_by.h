@@ -2,6 +2,12 @@
 // scalar mode for aggregate-without-GROUP-BY blocks) and binary grouping
 // Γ_{g;A1θA2;f} (Cluet/Moerkotte; main-memory implementations follow
 // May/Moerkotte [21]: hash-based for θ = '=', nested-loop otherwise).
+//
+// Parallelism: HashGroupByOp accumulates into per-worker partial hash
+// tables (no shared mutable state during Consume) merged via
+// AggregatorSet::Merge at finish, which runs single-threaded on the
+// driver. BinaryGroupByHashOp builds its right-side aggregate table with
+// the context's worker pool when the right input is large.
 #ifndef BYPASSDB_EXEC_GROUP_BY_H_
 #define BYPASSDB_EXEC_GROUP_BY_H_
 
@@ -23,6 +29,7 @@ class HashGroupByOp : public UnaryPhysOp {
   HashGroupByOp(std::vector<int> key_slots,
                 std::vector<AggregateSpec> aggregates, bool scalar);
 
+  Status Prepare(ExecContext* ctx) override;
   void Reset() override;
   Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
@@ -31,15 +38,21 @@ class HashGroupByOp : public UnaryPhysOp {
   }
 
  private:
+  // RowKeyHash/RowKeyEq are transparent: group lookup probes with a
+  // RowSlotsRef over the input row, so only new groups project a key row.
+  using GroupMap = std::unordered_map<Row, std::unique_ptr<AggregatorSet>,
+                                      RowKeyHash, RowKeyEq>;
+
+  /// One worker's partial aggregation state, padded to its own cache line.
+  struct alignas(64) Partial {
+    GroupMap groups;
+    std::unique_ptr<AggregatorSet> scalar;
+  };
+
   std::vector<int> key_slots_;
   std::vector<AggregateSpec> aggregates_;
   bool scalar_;
-  // RowKeyHash/RowKeyEq are transparent: group lookup probes with a
-  // RowSlotsRef over the input row, so only new groups project a key row.
-  std::unordered_map<Row, std::unique_ptr<AggregatorSet>, RowKeyHash,
-                     RowKeyEq>
-      groups_;
-  std::unique_ptr<AggregatorSet> scalar_group_;
+  std::vector<Partial> partials_;  // indexed by CurrentWorkerId()
 };
 
 /// Binary grouping, hash variant (θ = '='): every left tuple is extended
@@ -59,6 +72,11 @@ class BinaryGroupByHashOp : public BinaryPhysOp {
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
+  using GroupMap = std::unordered_map<Row, std::unique_ptr<AggregatorSet>,
+                                      RowKeyHash, RowKeyEq>;
+
+  Status AccumulateRange(size_t begin, size_t end, GroupMap* groups) const;
+
   int left_key_slot_;
   int right_key_slot_;
   // Single-element slot vectors backing the RowSlotsRef probes below.

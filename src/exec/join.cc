@@ -1,5 +1,9 @@
 #include "exec/join.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+
 namespace bypass {
 
 namespace {
@@ -16,12 +20,54 @@ bool AnyNull(const Row& row, const std::vector<int>& slots) {
 void JoinHashTable::Clear() { map_.clear(); }
 
 void JoinHashTable::Build(const std::vector<Row>& rows,
-                          const std::vector<int>& key_slots) {
+                          const std::vector<int>& key_slots,
+                          WorkerPool* pool) {
   map_.clear();
+  constexpr size_t kParallelBuildThreshold = 4096;
+  if (pool == nullptr || pool->num_workers() <= 1 ||
+      rows.size() < kParallelBuildThreshold) {
+    map_.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (AnyNull(rows[i], key_slots)) continue;
+      map_[ProjectRow(rows[i], key_slots)].push_back(i);
+    }
+    return;
+  }
+  // Partial tables over contiguous row ranges. Each task sees ascending
+  // row indices, and ranges are merged in task order below, so the final
+  // per-key index lists match the serial build exactly.
+  const size_t num_tasks = static_cast<size_t>(pool->num_workers());
+  const size_t chunk = (rows.size() + num_tasks - 1) / num_tasks;
+  std::vector<decltype(map_)> partials(num_tasks);
+  const Status build_status =
+      pool->ParallelFor(num_tasks, [&](size_t t) -> Status {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(begin + chunk, rows.size());
+        auto& partial = partials[t];
+        for (size_t i = begin; i < end; ++i) {
+          if (AnyNull(rows[i], key_slots)) continue;
+          partial[ProjectRow(rows[i], key_slots)].push_back(i);
+        }
+        return Status::OK();
+      });
+  BYPASS_CHECK_MSG(build_status.ok(), "parallel hash build cannot fail");
   map_.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (AnyNull(rows[i], key_slots)) continue;
-    map_[ProjectRow(rows[i], key_slots)].push_back(i);
+  for (auto& partial : partials) {
+    if (map_.empty()) {
+      map_ = std::move(partial);
+      continue;
+    }
+    for (auto it = partial.begin(); it != partial.end();) {
+      auto next = std::next(it);
+      auto dst = map_.find(it->first);
+      if (dst == map_.end()) {
+        map_.insert(partial.extract(it));
+      } else {
+        dst->second.insert(dst->second.end(), it->second.begin(),
+                           it->second.end());
+      }
+      it = next;
+    }
   }
 }
 
@@ -41,7 +87,7 @@ void HashJoinOp::Reset() {
 }
 
 Status HashJoinOp::BuildFromRight() {
-  table_.Build(right_rows(), right_key_slots_);
+  table_.Build(right_rows(), right_key_slots_, ctx_->pool());
   return Status::OK();
 }
 

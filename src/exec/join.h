@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/phys_op.h"
+#include "exec/worker_pool.h"
 #include "expr/expr.h"
 
 namespace bypass {
@@ -20,9 +21,13 @@ class JoinHashTable {
   void Clear();
 
   /// Indexes `rows` by the values at `key_slots` (NULL-keyed rows are
-  /// skipped).
+  /// skipped). With a non-null `pool` and enough rows, partial tables are
+  /// built over contiguous row ranges in parallel and merged in range
+  /// order, so each key's index list is ascending — byte-identical to the
+  /// serial build.
   void Build(const std::vector<Row>& rows,
-             const std::vector<int>& key_slots);
+             const std::vector<int>& key_slots,
+             WorkerPool* pool = nullptr);
 
   /// Matching right-row indices for the probe key taken from `row` at
   /// `probe_slots`; empty when the key has NULLs. Allocation-free: the

@@ -14,25 +14,51 @@ void PhysOp::AddConsumer(int out_port, PhysOp* consumer, int in_port) {
 Status PhysOp::Prepare(ExecContext* ctx) {
   ctx_ = ctx;
   batch_size_ = ctx->batch_size();
-  emitted_.assign(out_edges_.size(), 0);
-  batches_emitted_.assign(out_edges_.size(), 0);
   // Keep the pending builders' capacity: subplans re-Prepare once per
   // correlated re-execution, and reallocating here would churn.
-  pending_.resize(out_edges_.size());
-  for (std::vector<Row>& p : pending_) p.clear();
+  workers_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  for (WorkerState& w : workers_) {
+    w.ports.resize(static_cast<size_t>(num_out_ports_));
+    for (PortState& p : w.ports) {
+      p.pending.clear();
+      p.rows_emitted = 0;
+      p.batches_emitted = 0;
+    }
+  }
   return Status::OK();
+}
+
+int64_t PhysOp::rows_emitted(int out_port) const {
+  const size_t port = static_cast<size_t>(out_port);
+  int64_t total = 0;
+  for (const WorkerState& w : workers_) {
+    if (port < w.ports.size()) total += w.ports[port].rows_emitted;
+  }
+  return total;
+}
+
+int64_t PhysOp::batches_emitted(int out_port) const {
+  const size_t port = static_cast<size_t>(out_port);
+  int64_t total = 0;
+  for (const WorkerState& w : workers_) {
+    if (port < w.ports.size()) total += w.ports[port].batches_emitted;
+  }
+  return total;
 }
 
 Status PhysOp::EmitBatch(int out_port, RowBatch batch) {
   if (batch.empty()) return Status::OK();
   const size_t port = static_cast<size_t>(out_port);
-  emitted_[port] += static_cast<int64_t>(batch.size());
-  ++batches_emitted_[port];
+  PortState& counters =
+      workers_[static_cast<size_t>(CurrentWorkerId())].ports[port];
+  counters.rows_emitted += static_cast<int64_t>(batch.size());
+  ++counters.batches_emitted;
   const auto& edges = out_edges_[port];
   if (edges.empty()) return Status::OK();
   // Fan-out consumers share the batch's storage; only the selection
   // vector is duplicated. The last (and in the common single-consumer
-  // case, only) edge receives the moved batch.
+  // case, only) edge receives the moved batch. The whole fan-out runs on
+  // the calling worker, so consumers see no extra concurrency from it.
   for (size_t i = 0; i + 1 < edges.size(); ++i) {
     BYPASS_RETURN_IF_ERROR(edges[i].consumer->Consume(
         edges[i].in_port,
@@ -42,8 +68,9 @@ Status PhysOp::EmitBatch(int out_port, RowBatch batch) {
                                         std::move(batch));
 }
 
-Status PhysOp::FlushPending(int out_port) {
-  std::vector<Row>& pending = pending_[static_cast<size_t>(out_port)];
+Status PhysOp::FlushPending(int out_port, WorkerState* worker) {
+  std::vector<Row>& pending =
+      worker->ports[static_cast<size_t>(out_port)].pending;
   if (pending.empty()) return Status::OK();
   std::vector<Row> rows;
   rows.swap(pending);
@@ -51,19 +78,28 @@ Status PhysOp::FlushPending(int out_port) {
 }
 
 Status PhysOp::Emit(int out_port, RowBatch batch) {
-  BYPASS_RETURN_IF_ERROR(FlushPending(out_port));
+  WorkerState& worker = workers_[static_cast<size_t>(CurrentWorkerId())];
+  BYPASS_RETURN_IF_ERROR(FlushPending(out_port, &worker));
   return EmitBatch(out_port, std::move(batch));
 }
 
 Status PhysOp::EmitRow(int out_port, Row row) {
-  std::vector<Row>& pending = pending_[static_cast<size_t>(out_port)];
+  WorkerState& worker = workers_[static_cast<size_t>(CurrentWorkerId())];
+  std::vector<Row>& pending =
+      worker.ports[static_cast<size_t>(out_port)].pending;
   pending.push_back(std::move(row));
-  if (pending.size() >= batch_size_) return FlushPending(out_port);
+  if (pending.size() >= batch_size_) {
+    return FlushPending(out_port, &worker);
+  }
   return Status::OK();
 }
 
 Status PhysOp::EmitFinish(int out_port) {
-  BYPASS_RETURN_IF_ERROR(FlushPending(out_port));
+  // Single-threaded by contract; drains every worker's leftover pending
+  // rows (only the finishing thread's slot is non-empty in serial runs).
+  for (WorkerState& w : workers_) {
+    BYPASS_RETURN_IF_ERROR(FlushPending(out_port, &w));
+  }
   for (const Edge& e : out_edges_[static_cast<size_t>(out_port)]) {
     BYPASS_RETURN_IF_ERROR(e.consumer->FinishPort(e.in_port));
   }
@@ -80,12 +116,16 @@ Status UnaryPhysOp::FinishPort(int in_port) {
 
 Status BinaryPhysOp::Prepare(ExecContext* ctx) {
   BYPASS_RETURN_IF_ERROR(PhysOp::Prepare(ctx));
+  buffers_.resize(static_cast<size_t>(ctx->num_worker_slots()));
   return Status::OK();
 }
 
 void BinaryPhysOp::Reset() {
+  for (InputBuffers& b : buffers_) {
+    b.right.clear();
+    b.pending_left.clear();
+  }
   right_rows_.clear();
-  pending_left_.clear();
   right_done_ = false;
   left_done_ = false;
   finished_ = false;
@@ -100,16 +140,18 @@ Status BinaryPhysOp::ProcessLeftBatch(RowBatch batch) {
 }
 
 Status BinaryPhysOp::Consume(int in_port, RowBatch batch) {
+  InputBuffers& buffers =
+      buffers_[static_cast<size_t>(CurrentWorkerId())];
   if (in_port == kRight) {
     BYPASS_CHECK_MSG(!right_done_, "batch after right-side finish");
-    batch.ConsumeRowsInto(&right_rows_);
+    batch.ConsumeRowsInto(&buffers.right);
     return Status::OK();
   }
   BYPASS_CHECK(in_port == kLeft);
   if (!right_done_) {
     // The executor could not schedule the right pipeline first (shared
     // DAG sources); fall back to buffering the left side.
-    pending_left_.push_back(std::move(batch));
+    buffers.pending_left.push_back(std::move(batch));
     return Status::OK();
   }
   return ProcessLeftBatch(std::move(batch));
@@ -118,11 +160,25 @@ Status BinaryPhysOp::Consume(int in_port, RowBatch batch) {
 Status BinaryPhysOp::FinishPort(int in_port) {
   if (in_port == kRight) {
     right_done_ = true;
+    // Merge the workers' thread-local buffers in worker order — with one
+    // worker this is exactly the serial arrival order.
+    for (InputBuffers& b : buffers_) {
+      if (right_rows_.empty()) {
+        right_rows_ = std::move(b.right);
+      } else {
+        right_rows_.insert(right_rows_.end(),
+                           std::make_move_iterator(b.right.begin()),
+                           std::make_move_iterator(b.right.end()));
+      }
+      b.right.clear();
+    }
     BYPASS_RETURN_IF_ERROR(BuildFromRight());
-    std::vector<RowBatch> pending = std::move(pending_left_);
-    pending_left_.clear();
-    for (RowBatch& b : pending) {
-      BYPASS_RETURN_IF_ERROR(ProcessLeftBatch(std::move(b)));
+    for (InputBuffers& b : buffers_) {
+      std::vector<RowBatch> pending = std::move(b.pending_left);
+      b.pending_left.clear();
+      for (RowBatch& batch : pending) {
+        BYPASS_RETURN_IF_ERROR(ProcessLeftBatch(std::move(batch)));
+      }
     }
   } else {
     BYPASS_CHECK(in_port == kLeft);

@@ -5,6 +5,16 @@
 // two output ports, and the re-uniting union consumes on two input ports.
 // Batches carry a selection vector over shared row storage, so selections
 // and bypass splits are zero-copy (see types/row_batch.h).
+//
+// Threading contract (morsel-driven parallelism, DESIGN.md §5): during a
+// source's parallel phase, Consume may be called concurrently by several
+// workers, each identified by CurrentWorkerId(). The base class keeps all
+// its mutable state — pending output rows and emitted-row accounting —
+// in per-worker slots, so Emit/EmitRow are safe without locks. FinishPort
+// and EmitFinish run single-threaded (on the driver, after the pool
+// joined the phase): that is where pipeline breakers merge their
+// thread-local partials. A query with num_threads=1 never leaves worker
+// slot 0 and reproduces serial execution exactly.
 #ifndef BYPASSDB_EXEC_PHYS_OP_H_
 #define BYPASSDB_EXEC_PHYS_OP_H_
 
@@ -25,7 +35,7 @@ inline constexpr int kPortNegative = 1;
 
 class PhysOp {
  public:
-  PhysOp() : out_edges_(1) {}
+  PhysOp() : num_out_ports_(1), out_edges_(1) {}
   virtual ~PhysOp() = default;
   PhysOp(const PhysOp&) = delete;
   PhysOp& operator=(const PhysOp&) = delete;
@@ -40,47 +50,55 @@ class PhysOp {
   /// Clears all accumulated state so the operator can run again.
   virtual void Reset() {}
 
-  /// Receives one non-empty batch on `in_port`.
+  /// Receives one non-empty batch on `in_port`. May be called
+  /// concurrently (distinct workers) during a parallel scan phase.
   virtual Status Consume(int in_port, RowBatch batch) = 0;
 
-  /// Signals end-of-stream on `in_port`.
+  /// Signals end-of-stream on `in_port`. Always single-threaded: the
+  /// driver propagates finishes only after all workers joined the phase.
   virtual Status FinishPort(int in_port) = 0;
 
   virtual std::string Label() const = 0;
 
-  int num_out_ports() const { return static_cast<int>(out_edges_.size()); }
+  int num_out_ports() const { return num_out_ports_; }
 
   /// Rows / batches emitted on `out_port` during the last execution
-  /// (EXPLAIN ANALYZE-style accounting; reset by Prepare).
-  int64_t rows_emitted(int out_port) const {
-    const size_t port = static_cast<size_t>(out_port);
-    return port < emitted_.size() ? emitted_[port] : 0;
-  }
-  int64_t batches_emitted(int out_port) const {
-    const size_t port = static_cast<size_t>(out_port);
-    return port < batches_emitted_.size() ? batches_emitted_[port] : 0;
-  }
+  /// (EXPLAIN ANALYZE-style accounting; reset by Prepare). Aggregates the
+  /// per-worker counters; read after the run.
+  int64_t rows_emitted(int out_port) const;
+  int64_t batches_emitted(int out_port) const;
 
  protected:
-  explicit PhysOp(int num_out_ports) : out_edges_(num_out_ports) {}
+  explicit PhysOp(int num_out_ports)
+      : num_out_ports_(num_out_ports),
+        out_edges_(static_cast<size_t>(num_out_ports)) {}
 
   /// Forwards a batch to all consumers of `out_port`. Empty batches are
   /// dropped — consumers never see them. The last consumer receives the
   /// moved batch; earlier consumers get shared-storage views (cheap: a
   /// shared_ptr plus a selection-vector copy, never a row copy). Any rows
-  /// pending from EmitRow are flushed first to preserve arrival order.
+  /// pending from EmitRow on this worker are flushed first to preserve
+  /// per-worker arrival order.
   Status Emit(int out_port, RowBatch batch);
 
-  /// Appends one produced row to the pending output batch of `out_port`,
-  /// forwarding it once batch_size rows accumulated. Used by operators
-  /// that materialize new rows (joins, group-by, sort replay).
+  /// Appends one produced row to the calling worker's pending output
+  /// batch of `out_port`, forwarding it once batch_size rows accumulated.
+  /// Used by operators that materialize new rows (joins, group-by, sort
+  /// replay).
   Status EmitRow(int out_port, Row row);
 
-  /// Forwards end-of-stream on `out_port` (flushing pending rows first).
+  /// Forwards end-of-stream on `out_port`, flushing every worker's
+  /// pending rows first (in worker order). Single-threaded.
   Status EmitFinish(int out_port);
 
   /// The execution's configured rows-per-batch.
   size_t batch_size() const { return batch_size_; }
+
+  /// Number of per-worker state slots (ExecContext::num_worker_slots at
+  /// Prepare time). Subclasses size their own thread-local state by this.
+  int num_worker_slots() const {
+    return static_cast<int>(workers_.size());
+  }
 
   ExecContext* ctx_ = nullptr;
 
@@ -89,15 +107,23 @@ class PhysOp {
     PhysOp* consumer;
     int in_port;
   };
+  struct PortState {
+    std::vector<Row> pending;
+    int64_t rows_emitted = 0;
+    int64_t batches_emitted = 0;
+  };
+  /// Cache-line padded so two workers' emit counters never false-share.
+  struct alignas(64) WorkerState {
+    std::vector<PortState> ports;
+  };
 
   /// Emit without flushing pending rows (internal fast path).
   Status EmitBatch(int out_port, RowBatch batch);
-  Status FlushPending(int out_port);
+  Status FlushPending(int out_port, WorkerState* worker);
 
+  const int num_out_ports_;
   std::vector<std::vector<Edge>> out_edges_;
-  std::vector<std::vector<Row>> pending_;
-  std::vector<int64_t> emitted_;
-  std::vector<int64_t> batches_emitted_;
+  std::vector<WorkerState> workers_;
   size_t batch_size_ = kDefaultBatchSize;
 };
 
@@ -116,7 +142,8 @@ class UnaryPhysOp : public PhysOp {
 /// stream the left one. Buffering rules make execution correct regardless
 /// of the order source pipelines run in: right rows are always buffered;
 /// left batches are buffered only while the right input is still open,
-/// then replayed.
+/// then replayed. Buffers are thread-local per worker and merged (in
+/// worker order) when the corresponding port finishes.
 class BinaryPhysOp : public PhysOp {
  public:
   BinaryPhysOp() = default;
@@ -132,11 +159,14 @@ class BinaryPhysOp : public PhysOp {
 
  protected:
   /// Called once when the right input finished, before any left row is
-  /// processed; `right_rows()` is complete at this point.
+  /// processed; `right_rows()` is complete at this point. Single-threaded
+  /// (finish phase); implementations may parallelize internally via
+  /// ctx_->pool().
   virtual Status BuildFromRight() { return Status::OK(); }
 
   /// Called for each left row after the right side is built. Outputs go
-  /// through EmitRow so they re-batch on the way out.
+  /// through EmitRow so they re-batch on the way out. Concurrent across
+  /// workers; implementations must only read shared build state.
   virtual Status ProcessLeft(Row row) = 0;
 
   /// Batch-level hook; the default unpacks the batch into ProcessLeft
@@ -147,11 +177,18 @@ class BinaryPhysOp : public PhysOp {
   /// processed; must EmitFinish on every output port.
   virtual Status FinishBoth() = 0;
 
+  /// The merged right input; complete once BuildFromRight runs.
   const std::vector<Row>& right_rows() const { return right_rows_; }
 
  private:
-  std::vector<Row> right_rows_;
-  std::vector<RowBatch> pending_left_;
+  /// Per-worker input buffers, padded against false sharing.
+  struct alignas(64) InputBuffers {
+    std::vector<Row> right;
+    std::vector<RowBatch> pending_left;
+  };
+
+  std::vector<InputBuffers> buffers_;
+  std::vector<Row> right_rows_;  // merged at right finish
   bool right_done_ = false;
   bool left_done_ = false;
   bool finished_ = false;

@@ -1,8 +1,15 @@
 // Streaming row-shaping operators: projection Π, map χ (append computed
-// columns), and numbering ν (append a unique tuple id).
+// columns), and numbering ν (append a unique tuple id). All are
+// morsel-parallel: Π/χ use per-worker scratch, ν draws ids from one
+// atomic counter (ids stay unique and dense overall, but their
+// assignment to rows is scheduling-dependent — only equality matters to
+// the plans that use them), and LIMIT serializes on a mutex (rare and
+// cheap: one short critical section per batch).
 #ifndef BYPASSDB_EXEC_PROJECT_H_
 #define BYPASSDB_EXEC_PROJECT_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,13 +26,18 @@ class ProjectPhysOp : public UnaryPhysOp {
   explicit ProjectPhysOp(std::vector<ExprPtr> exprs, bool identity = false)
       : exprs_(std::move(exprs)), identity_(identity) {}
 
+  Status Prepare(ExecContext* ctx) override;
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override;
 
  private:
+  struct alignas(64) Scratch {
+    std::vector<std::vector<Value>> columns;
+  };
+
   std::vector<ExprPtr> exprs_;
   bool identity_;
-  std::vector<std::vector<Value>> columns_;  // per-batch scratch
+  std::vector<Scratch> scratch_;  // per-worker per-batch scratch
 };
 
 /// χ: output = input row ++ one value per expression.
@@ -34,25 +46,32 @@ class MapPhysOp : public UnaryPhysOp {
   explicit MapPhysOp(std::vector<ExprPtr> exprs)
       : exprs_(std::move(exprs)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override;
 
  private:
+  struct alignas(64) Scratch {
+    std::vector<std::vector<Value>> columns;
+  };
+
   std::vector<ExprPtr> exprs_;
-  std::vector<std::vector<Value>> columns_;  // per-batch scratch
+  std::vector<Scratch> scratch_;  // per-worker per-batch scratch
 };
 
-/// ν: output = input row ++ [running int64 id starting at 0].
+/// ν: output = input row ++ [unique int64 id starting at 0].
 class NumberingPhysOp : public UnaryPhysOp {
  public:
   NumberingPhysOp() = default;
 
-  void Reset() override { next_id_ = 0; }
+  void Reset() override {
+    next_id_.store(0, std::memory_order_relaxed);
+  }
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override { return "Numbering ν"; }
 
  private:
-  int64_t next_id_ = 0;
+  std::atomic<int64_t> next_id_{0};
 };
 
 /// LIMIT n: forwards the first n rows, then drops the rest (and asks the
@@ -69,6 +88,7 @@ class LimitPhysOp : public UnaryPhysOp {
 
  private:
   int64_t count_;
+  std::mutex mu_;  // guards seen_ against concurrent morsel workers
   int64_t seen_ = 0;
 };
 

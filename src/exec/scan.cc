@@ -4,20 +4,24 @@
 
 namespace bypass {
 
-Status TableScanOp::Run() {
+Status TableScanOp::RunMorsel(size_t begin, size_t end) {
   const std::vector<Row>& rows = table_->rows();
-  const size_t n = rows.size();
-  for (size_t begin = 0; begin < n; begin += batch_size()) {
+  for (size_t b = begin; b < end; b += batch_size()) {
     if (ctx_->cancelled()) break;
     BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
-    const size_t end = std::min(begin + batch_size(), n);
-    if (ctx_->stats() != nullptr) {
-      ctx_->stats()->rows_scanned += static_cast<int64_t>(end - begin);
+    const size_t batch_end = std::min(b + batch_size(), end);
+    if (ExecStats* stats = ctx_->stats(); stats != nullptr) {
+      stats->rows_scanned += static_cast<int64_t>(batch_end - b);
     }
     BYPASS_RETURN_IF_ERROR(
-        Emit(kPortOut, RowBatch::Borrowed(&rows, begin, end)));
+        Emit(kPortOut, RowBatch::Borrowed(&rows, b, batch_end)));
   }
-  return EmitFinish(kPortOut);
+  return Status::OK();
+}
+
+Status TableScanOp::Run() {
+  BYPASS_RETURN_IF_ERROR(RunMorsel(0, table_->rows().size()));
+  return FinishSource();
 }
 
 }  // namespace bypass

@@ -1,5 +1,7 @@
-// Table scan: the plan's source operator. The executor drives execution by
-// calling Run() on every source in dependency order.
+// Table scan: the plan's source operator. The executor drives execution
+// either serially (Run) or by dispatching fixed-size morsels of the table
+// to the worker pool (RunMorsel per morsel, then FinishSource once all
+// workers joined).
 #ifndef BYPASSDB_EXEC_SCAN_H_
 #define BYPASSDB_EXEC_SCAN_H_
 
@@ -15,10 +17,19 @@ class TableScanOp : public UnaryPhysOp {
  public:
   explicit TableScanOp(const Table* table) : table_(table) {}
 
-  /// Pushes the table to the consumers in zero-copy borrowed batches,
-  /// polling cancellation and the time budget between batches, then
-  /// finishes the output.
+  /// Serial drive: pushes the whole table and finishes the output.
   Status Run();
+
+  /// Pushes rows [begin, end) of the table to the consumers in zero-copy
+  /// borrowed batches, polling cancellation and the time budget between
+  /// batches. Safe to call concurrently for disjoint morsels.
+  Status RunMorsel(size_t begin, size_t end);
+
+  /// Propagates end-of-stream after every morsel completed. Driver-only.
+  Status FinishSource() { return EmitFinish(kPortOut); }
+
+  /// Table cardinality, for the executor's morsel splitter.
+  size_t num_rows() const { return table_->rows().size(); }
 
   Status Consume(int, RowBatch) override {
     return Status::Internal("TableScan has no input");

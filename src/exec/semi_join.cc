@@ -8,7 +8,7 @@ void HashExistenceJoinOp::Reset() {
 }
 
 Status HashExistenceJoinOp::BuildFromRight() {
-  table_.Build(right_rows(), right_key_slots_);
+  table_.Build(right_rows(), right_key_slots_, ctx_->pool());
   return Status::OK();
 }
 

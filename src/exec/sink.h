@@ -2,6 +2,8 @@
 #ifndef BYPASSDB_EXEC_SINK_H_
 #define BYPASSDB_EXEC_SINK_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,15 +11,17 @@
 
 namespace bypass {
 
-/// Collects all result rows.
+/// Collects all result rows. Merging sink: each worker appends to its own
+/// partial vector; FinishPort concatenates the partials in worker order.
+/// The merged result therefore carries NO ordering guarantee beyond what
+/// a single worker produced (an explicit Sort above the sink is the only
+/// way to order a parallel query's output).
 class CollectorSink : public PhysOp {
  public:
   CollectorSink() = default;
 
-  void Reset() override {
-    rows_.clear();
-    finished_ = false;
-  }
+  Status Prepare(ExecContext* ctx) override;
+  void Reset() override;
   Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override { return "Collect"; }
@@ -27,8 +31,17 @@ class CollectorSink : public PhysOp {
   bool finished() const { return finished_; }
 
  private:
-  std::vector<Row> rows_;
+  struct alignas(64) Partial {
+    std::vector<Row> rows;
+  };
+
+  std::vector<Partial> partials_;
+  std::vector<Row> rows_;  // merged at finish
   bool finished_ = false;
+  /// Elects the single witness row under limit_one (EXISTS probing);
+  /// uncontended in serial runs.
+  std::mutex limit_mu_;
+  bool witness_taken_ = false;
 };
 
 /// Remembers whether any row arrived and cancels the execution after the
@@ -37,15 +50,17 @@ class ExistsSink : public PhysOp {
  public:
   ExistsSink() = default;
 
-  void Reset() override { found_ = false; }
+  void Reset() override {
+    found_.store(false, std::memory_order_relaxed);
+  }
   Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int) override { return Status::OK(); }
   std::string Label() const override { return "ExistsProbe"; }
 
-  bool found() const { return found_; }
+  bool found() const { return found_.load(std::memory_order_relaxed); }
 
  private:
-  bool found_ = false;
+  std::atomic<bool> found_{false};
 };
 
 }  // namespace bypass

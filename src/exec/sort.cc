@@ -4,17 +4,41 @@
 
 namespace bypass {
 
+Status SortPhysOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(UnaryPhysOp::Prepare(ctx));
+  partials_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
+}
+
+void SortPhysOp::Reset() {
+  for (Partial& p : partials_) p.rows.clear();
+}
+
 Status SortPhysOp::Consume(int, RowBatch batch) {
-  batch.ConsumeRowsInto(&buffer_);
+  batch.ConsumeRowsInto(
+      &partials_[static_cast<size_t>(CurrentWorkerId())].rows);
   return Status::OK();
 }
 
 Status SortPhysOp::FinishPort(int) {
+  // Merge the per-worker buffers (worker order; serial runs keep their
+  // arrival order exactly), then sort the union.
+  std::vector<Row> buffer;
+  for (Partial& p : partials_) {
+    if (buffer.empty()) {
+      buffer = std::move(p.rows);
+    } else {
+      buffer.insert(buffer.end(),
+                    std::make_move_iterator(p.rows.begin()),
+                    std::make_move_iterator(p.rows.end()));
+    }
+    p.rows.clear();
+  }
   // Precompute key rows so the comparator never fails mid-sort.
   std::vector<std::pair<Row, size_t>> keyed;
-  keyed.reserve(buffer_.size());
-  for (size_t i = 0; i < buffer_.size(); ++i) {
-    EvalContext ectx{&buffer_[i], ctx_->outer_row()};
+  keyed.reserve(buffer.size());
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    EvalContext ectx{&buffer[i], ctx_->outer_row()};
     Row key;
     key.reserve(keys_.size());
     for (const PhysSortKey& k : keys_) {
@@ -30,12 +54,11 @@ Status SortPhysOp::FinishPort(int) {
           const int c = a.first[i].OrderCompare(b.first[i]);
           if (c != 0) return keys_[i].descending ? c > 0 : c < 0;
         }
-        return a.second < b.second;  // stability by arrival order
+        return a.second < b.second;  // stability by merged arrival order
       });
   for (const auto& [key, idx] : keyed) {
-    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(buffer_[idx])));
+    BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(buffer[idx])));
   }
-  buffer_.clear();
   return EmitFinish(kPortOut);
 }
 

@@ -1,5 +1,8 @@
 // ORDER BY: buffers its input and emits sorted on finish. NULLs sort
-// first ascending (Value::OrderCompare's total order).
+// first ascending (Value::OrderCompare's total order). Buffers are
+// per-worker and merged at finish, so the sort itself sees all rows;
+// stability ties are broken by post-merge arrival order, which is
+// scheduling-dependent under parallelism (equal keys only).
 #ifndef BYPASSDB_EXEC_SORT_H_
 #define BYPASSDB_EXEC_SORT_H_
 
@@ -22,14 +25,19 @@ class SortPhysOp : public UnaryPhysOp {
   explicit SortPhysOp(std::vector<PhysSortKey> keys)
       : keys_(std::move(keys)) {}
 
-  void Reset() override { buffer_.clear(); }
+  Status Prepare(ExecContext* ctx) override;
+  void Reset() override;
   Status Consume(int in_port, RowBatch batch) override;
   Status FinishPort(int in_port) override;
   std::string Label() const override { return "Sort"; }
 
  private:
+  struct alignas(64) Partial {
+    std::vector<Row> rows;
+  };
+
   std::vector<PhysSortKey> keys_;
-  std::vector<Row> buffer_;
+  std::vector<Partial> partials_;  // per-worker input buffers
 };
 
 }  // namespace bypass

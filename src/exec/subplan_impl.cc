@@ -10,20 +10,27 @@ ExecSubplan::ExecSubplan(PhysicalPlan plan,
 
 void ExecSubplan::Configure(
     std::optional<std::chrono::steady_clock::time_point> deadline,
-    ExecStats* stats, size_t batch_size) {
+    ExecStats* stats, size_t batch_size, SharedWorkerStats worker_stats,
+    int num_worker_slots) {
   if (deadline.has_value()) {
     ctx_.set_deadline(*deadline);
   } else {
     ctx_.clear_deadline();
   }
   ctx_.set_stats(stats);
+  ctx_.set_worker_stats(worker_stats);
   ctx_.set_batch_size(batch_size);
+  // No pool: the subplan runs serially on whichever worker evaluates it,
+  // but its operators must have a state slot for that worker's id.
+  ctx_.set_num_worker_slots(num_worker_slots);
   for (ExecSubplan* nested : plan_.subplans) {
-    nested->Configure(deadline, stats, batch_size);
+    nested->Configure(deadline, stats, batch_size, worker_stats,
+                      num_worker_slots);
   }
 }
 
 void ExecSubplan::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
   scalar_cache_.clear();
   exists_cache_.clear();
   in_cache_.clear();
@@ -51,6 +58,7 @@ Status ExecSubplan::Execute(const Row* outer_row) {
 }
 
 Result<Value> ExecSubplan::EvalScalar(const Row* outer_row) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Uncorrelated (type A) blocks are always materialized once; correlated
   // blocks only under the memoization strategy.
   const bool use_cache = memoize_ || free_outer_slots_.empty();
@@ -84,6 +92,7 @@ Result<Value> ExecSubplan::EvalScalar(const Row* outer_row) {
 }
 
 Result<bool> ExecSubplan::EvalExists(const Row* outer_row) {
+  std::lock_guard<std::mutex> lock(mu_);
   const bool use_cache = memoize_ || free_outer_slots_.empty();
   Row key;
   if (use_cache) {
@@ -105,6 +114,7 @@ Result<bool> ExecSubplan::EvalExists(const Row* outer_row) {
 
 Result<TriBool> ExecSubplan::EvalIn(const Value& probe,
                                     const Row* outer_row) {
+  std::lock_guard<std::mutex> lock(mu_);
   const bool use_cache = memoize_ || free_outer_slots_.empty();
   Row key;
   if (use_cache) {

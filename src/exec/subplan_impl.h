@@ -2,10 +2,18 @@
 // per outer tuple (the canonical nested-loop evaluation) with optional
 // memoization keyed on the block's free attributes — the strategy our
 // benchmark suite labels "canonical-memo".
+//
+// Thread safety: a subplan's private plan and memo caches are shared
+// mutable state, so Eval* calls arriving from concurrent workers are
+// serialized by a per-subplan mutex. The subplan itself always runs
+// serially on the evaluating worker's thread (its context has no pool);
+// its operators still size their per-worker slots to the parent query's
+// worker count because the evaluating worker indexes them by its own id.
 #ifndef BYPASSDB_EXEC_SUBPLAN_IMPL_H_
 #define BYPASSDB_EXEC_SUBPLAN_IMPL_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -30,12 +38,16 @@ class ExecSubplan : public CorrelatedSubplan {
 
   int64_t num_executions() const override { return num_executions_; }
 
-  /// Propagates the query's deadline, stats sink, and batch size into
-  /// this block's private execution context (called by the engine before
-  /// running).
+  /// Propagates the query's deadline, stats sinks, batch size, and
+  /// worker-slot count into this block's private execution context
+  /// (called by the engine before running). `worker_stats` may be null;
+  /// `num_worker_slots` must cover every worker id that can evaluate
+  /// expressions referencing this subplan.
   void Configure(std::optional<std::chrono::steady_clock::time_point>
                      deadline,
-                 ExecStats* stats, size_t batch_size);
+                 ExecStats* stats, size_t batch_size,
+                 SharedWorkerStats worker_stats = nullptr,
+                 int num_worker_slots = 1);
 
   /// Drops memoized results (between benchmark repetitions).
   void ClearCache();
@@ -44,6 +56,7 @@ class ExecSubplan : public CorrelatedSubplan {
 
  private:
   /// Runs the plan for `outer_row` and leaves the rows in the sink.
+  /// Caller must hold mu_.
   Status Execute(const Row* outer_row);
 
   Row MemoKey(const Row* outer_row) const;
@@ -54,6 +67,8 @@ class ExecSubplan : public CorrelatedSubplan {
   ExecContext ctx_;
   int64_t num_executions_ = 0;
 
+  /// Serializes concurrent Eval* calls (plan state + caches).
+  std::mutex mu_;
   std::unordered_map<Row, Value, RowHash, RowEq> scalar_cache_;
   std::unordered_map<Row, bool, RowHash, RowEq> exists_cache_;
   std::unordered_map<Row, TriBool, RowHash, RowEq> in_cache_;

@@ -1,5 +1,8 @@
 // Disjoint multiset union: forwards rows from both ports unchanged and
 // finishes once both inputs have finished. Re-unites bypass streams.
+// Parallel-safe without locking: Consume is stateless forwarding, and
+// finished_inputs_ is only touched on the finish path, which always runs
+// single-threaded on the driver after the worker pool has drained.
 #ifndef BYPASSDB_EXEC_UNION_OP_H_
 #define BYPASSDB_EXEC_UNION_OP_H_
 

@@ -1,0 +1,94 @@
+#include "exec/worker_pool.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+namespace {
+thread_local int tls_worker_id = 0;
+}  // namespace
+
+int CurrentWorkerId() { return tls_worker_id; }
+
+WorkerPool::WorkerPool(int num_workers)
+    : num_workers_(num_workers < 1 ? 1 : num_workers) {
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop(int worker_id) {
+  tls_worker_id = worker_id;
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_round = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || round_ != seen_round; });
+    if (shutdown_) return;
+    seen_round = round_;
+    ++active_workers_;
+    lock.unlock();
+    RunTasks();
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::RunTasks() {
+  while (true) {
+    const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks_ || abort_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Status st = (*fn_)(task);
+    if (!st.ok()) {
+      abort_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = std::move(st);
+    }
+  }
+}
+
+Status WorkerPool::ParallelFor(
+    size_t num_tasks, const std::function<Status(size_t task)>& fn) {
+  if (num_tasks == 0) return Status::OK();
+  BYPASS_CHECK_MSG(tls_worker_id == 0,
+                   "ParallelFor is driver-only and not reentrant");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    first_error_ = Status::OK();
+    next_task_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    ++round_;
+  }
+  work_cv_.notify_all();
+  // The caller works the round as worker 0 (its tls id already is 0).
+  RunTasks();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    // Workers that never woke before the round drained simply skip it:
+    // they re-check round_ against their seen counter only when woken,
+    // but all tasks are claimed through next_task_, so completion is
+    // "no active worker and no unclaimed task" (or an aborted round).
+    return active_workers_ == 0 &&
+           (abort_.load(std::memory_order_relaxed) ||
+            next_task_.load(std::memory_order_relaxed) >= num_tasks_);
+  });
+  // Mark the round consumed so late-waking workers have nothing to do.
+  num_tasks_ = 0;
+  fn_ = nullptr;
+  return first_error_;
+}
+
+}  // namespace bypass

@@ -1,0 +1,75 @@
+// WorkerPool: the shared thread pool behind morsel-driven intra-query
+// parallelism. The executor splits every table scan into fixed-size
+// morsels and dispatches them here; each worker drives the pipeline's
+// Consume chain for its morsel, touching only worker-local operator
+// state (see exec/phys_op.h). The calling thread always participates as
+// worker 0, so a pool of size 1 spawns no threads and degenerates to the
+// serial executor — the differential-testing oracle.
+#ifndef BYPASSDB_EXEC_WORKER_POOL_H_
+#define BYPASSDB_EXEC_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bypass {
+
+/// Id of the worker the current thread is acting as, in
+/// [0, WorkerPool::num_workers()). Threads outside any ParallelFor —
+/// including the driver thread between pipeline phases — report 0, so
+/// serial code paths always use worker slot 0. Operators index their
+/// per-worker state with this.
+int CurrentWorkerId();
+
+class WorkerPool {
+ public:
+  /// A pool of `num_workers` total workers: `num_workers - 1` persistent
+  /// threads plus the caller of ParallelFor, which participates as
+  /// worker 0.
+  explicit WorkerPool(int num_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Runs `fn(task)` for every task in [0, num_tasks), claimed dynamically
+  /// by whichever worker is free (the morsel-stealing loop). Blocks until
+  /// all claimed tasks finished. On error the first non-OK status is
+  /// returned and the remaining unclaimed tasks are skipped; already
+  /// claimed tasks still run to completion. Not reentrant: only the
+  /// driver thread may call it, and never from inside a task.
+  Status ParallelFor(size_t num_tasks,
+                     const std::function<Status(size_t task)>& fn);
+
+ private:
+  void WorkerLoop(int worker_id);
+  /// Claims and runs tasks of the current round until exhausted.
+  void RunTasks();
+
+  const int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new round (or shutdown)
+  std::condition_variable done_cv_;   // signals round completion
+  const std::function<Status(size_t)>* fn_ = nullptr;  // current round
+  size_t num_tasks_ = 0;
+  uint64_t round_ = 0;                // generation counter for the cv wait
+  int active_workers_ = 0;            // workers still inside RunTasks
+  bool shutdown_ = false;
+  Status first_error_;                // first non-OK status of the round
+
+  std::atomic<size_t> next_task_{0};
+  std::atomic<bool> abort_{false};    // set on first error; skips the rest
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_EXEC_WORKER_POOL_H_

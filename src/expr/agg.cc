@@ -104,6 +104,39 @@ Status Aggregator::AccumulateValue(const Value& v, const Row&) {
   BYPASS_UNREACHABLE("bad AggFunc");
 }
 
+Status Aggregator::Merge(const Aggregator& other) {
+  if (spec_->distinct) {
+    // Re-apply only the entries this accumulator has not seen; the other
+    // side's sums/counts cannot be added directly because the two dedup
+    // sets may overlap.
+    for (const Row& key : other.distinct_) {
+      if (!distinct_.insert(key).second) continue;
+      if (spec_->arg == nullptr) {
+        ++count_;
+      } else {
+        BYPASS_RETURN_IF_ERROR(AccumulateValue(key[0], key));
+      }
+    }
+    return Status::OK();
+  }
+  count_ += other.count_;
+  sum_is_double_ = sum_is_double_ || other.sum_is_double_;
+  int_sum_ += other.int_sum_;
+  double_sum_ += other.double_sum_;
+  if (!other.extreme_.is_null()) {
+    if (extreme_.is_null()) {
+      extreme_ = other.extreme_;
+    } else {
+      const int c = other.extreme_.OrderCompare(extreme_);
+      if ((spec_->func == AggFunc::kMin && c < 0) ||
+          (spec_->func == AggFunc::kMax && c > 0)) {
+        extreme_ = other.extreme_;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<Value> Aggregator::Finalize() const {
   switch (spec_->func) {
     case AggFunc::kCount:
@@ -135,6 +168,15 @@ void AggregatorSet::Reset() {
 Status AggregatorSet::Accumulate(const EvalContext& ctx) {
   for (Aggregator& a : aggs_) {
     BYPASS_RETURN_IF_ERROR(a.Accumulate(ctx));
+  }
+  return Status::OK();
+}
+
+Status AggregatorSet::Merge(const AggregatorSet& other) {
+  BYPASS_CHECK_MSG(aggs_.size() == other.aggs_.size(),
+                   "merging AggregatorSets of different shape");
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    BYPASS_RETURN_IF_ERROR(aggs_[i].Merge(other.aggs_[i]));
   }
   return Status::OK();
 }

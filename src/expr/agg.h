@@ -53,6 +53,11 @@ class Aggregator {
   /// Folds in one input tuple; evaluates the argument against `ctx`.
   Status Accumulate(const EvalContext& ctx);
 
+  /// Folds another accumulator for the same spec into this one. Used to
+  /// combine per-worker partial aggregates; for DISTINCT aggregates only
+  /// entries not yet in this accumulator's dedup set are re-applied.
+  Status Merge(const Aggregator& other);
+
   /// Current aggregate value (f(∅) when nothing was accumulated).
   Result<Value> Finalize() const;
 
@@ -74,6 +79,8 @@ class AggregatorSet {
   explicit AggregatorSet(const std::vector<AggregateSpec>* specs);
   void Reset();
   Status Accumulate(const EvalContext& ctx);
+  /// Merges a partial AggregatorSet built from the same spec list.
+  Status Merge(const AggregatorSet& other);
   /// Appends one finalized value per spec to `out`.
   Status FinalizeInto(Row* out) const;
 
