@@ -1,0 +1,248 @@
+// E-stats: what the statistics subsystem buys the cost-based unnesting
+// choice. Sweeps the selectivity of the cheap disjunct in
+//
+//   SELECT DISTINCT * FROM r
+//   WHERE a4 > 10 OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)
+//
+// from 10% to 90%, and at each point measures (median-of-N execution
+// time) the canonical plan, the two forced bypass orders (Eqv. 2 /
+// Eqv. 3 shapes), the rank-only choice (kUnnested), and the cost-based
+// choice (kCostBased, ANALYZE'd statistics). Reports how often each
+// policy picks the fastest plan, the ANALYZE overhead, and the maximum
+// per-operator q-error after ANALYZE.
+//
+// Flags: --rows=N (r cardinality, default 2000), --runs=N (default 5),
+//        --quick (3 skew points, 3 runs), --json (machine-readable).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/database.h"
+#include "stats/feedback.h"
+#include "workload/rst.h"
+
+namespace {
+
+using namespace bypass;         // NOLINT(build/namespaces)
+using namespace bypass::bench;  // NOLINT(build/namespaces)
+
+const char* kSql =
+    "SELECT DISTINCT * FROM r "
+    "WHERE a4 > 10 OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)";
+
+void Fill(Database* db, int rows, double pass_fraction) {
+  auto r = db->CreateTable("r", RstTableSchema('a'));
+  std::vector<Row> rrows;
+  const int passing = static_cast<int>(pass_fraction * rows);
+  for (int i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(Value::Int64(i % 7));
+    row.push_back(Value::Int64(i % 5));
+    row.push_back(Value::Int64(i));
+    row.push_back(Value::Int64(i < passing ? 50 : 5));
+    rrows.push_back(std::move(row));
+  }
+  (void)(*r)->AppendUnchecked(std::move(rrows));
+  auto s = db->CreateTable("s", RstTableSchema('b'));
+  std::vector<Row> srows;
+  for (int i = 0; i < 2; ++i) {
+    Row row;
+    for (int c = 0; c < 4; ++c) row.push_back(Value::Int64(i));
+    srows.push_back(std::move(row));
+  }
+  (void)(*s)->AppendUnchecked(std::move(srows));
+}
+
+double MedianExecMs(Database* db, const QueryOptions& options, int runs,
+                    std::vector<std::string>* rules = nullptr) {
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    auto result = db->Query(kSql, options);
+    if (!result.ok()) return -1;
+    times.push_back(result->execution_seconds() * 1e3);
+    if (rules != nullptr) *rules = result->applied_rules;
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Which of the three candidate shapes a result's applied rules denote.
+std::string ShapeOf(const std::vector<std::string>& rules) {
+  if (rules.empty()) return "canonical";
+  const std::string& last = rules.back();
+  if (last == "cost-based: kept canonical") return "canonical";
+  if (last == "cost-based: picked forced simple-first") return "simple";
+  if (last == "cost-based: picked forced subquery-first") return "subquery";
+  return rules[0] == "Eqv.3" ? "subquery" : "simple";
+}
+
+struct Point {
+  double skew = 0;
+  double t_canonical = 0, t_simple = 0, t_subquery = 0;
+  double t_by_rank = 0, t_cost_based = 0;
+  double analyze_ms = 0;
+  std::string best, by_rank_shape, cost_based_shape;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int rows = static_cast<int>(flags.GetInt("rows", 2000));
+  const bool quick = flags.Has("quick");
+  const int runs = static_cast<int>(flags.GetInt("runs", quick ? 3 : 5));
+  const bool json = flags.Has("json");
+  std::vector<double> skews =
+      quick ? std::vector<double>{0.1, 0.5, 0.9}
+            : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9};
+
+  if (!json) {
+    PrintBanner("E-stats bench_stats",
+                "cost-based Eqv. 2 / Eqv. 3 choice on ANALYZE'd statistics",
+                "skew = fraction of r passing the cheap disjunct; times are "
+                "median-of-" + std::to_string(runs) + " execution ms");
+    std::printf("query:%s\nrows(r)=%d rows(s)=2\n\n", kSql, rows);
+  }
+
+  std::vector<Point> points;
+  double max_q_error = 1.0;
+  for (double skew : skews) {
+    Database db;
+    Fill(&db, rows, skew);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto reports = db.AnalyzeAll();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!reports.ok()) {
+      std::fprintf(stderr, "ANALYZE failed: %s\n",
+                   reports.status().ToString().c_str());
+      return 1;
+    }
+
+    Point p;
+    p.skew = skew;
+    p.analyze_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    QueryOptions canonical;
+    canonical.unnest = false;
+    p.t_canonical = MedianExecMs(&db, canonical, runs);
+
+    QueryOptions simple(ExecutionStrategy::kUnnested);
+    simple.rewrite.disjunct_order = DisjunctOrder::kSimpleFirst;
+    p.t_simple = MedianExecMs(&db, simple, runs);
+
+    QueryOptions subquery(ExecutionStrategy::kUnnested);
+    subquery.rewrite.disjunct_order = DisjunctOrder::kSubqueryFirst;
+    p.t_subquery = MedianExecMs(&db, subquery, runs);
+
+    std::vector<std::string> rank_rules;
+    p.t_by_rank = MedianExecMs(&db, QueryOptions(ExecutionStrategy::kUnnested),
+                               runs, &rank_rules);
+    p.by_rank_shape = ShapeOf(rank_rules);
+
+    std::vector<std::string> cb_rules;
+    p.t_cost_based = MedianExecMs(
+        &db, QueryOptions(ExecutionStrategy::kCostBased), runs, &cb_rules);
+    p.cost_based_shape = ShapeOf(cb_rules);
+
+    p.best = "canonical";
+    double best_t = p.t_canonical;
+    if (p.t_simple < best_t) { best_t = p.t_simple; p.best = "simple"; }
+    if (p.t_subquery < best_t) { best_t = p.t_subquery; p.best = "subquery"; }
+    points.push_back(p);
+
+    // Per-operator q-error of the cost-based plan after ANALYZE.
+    auto fb = db.Query(kSql, ExecutionStrategy::kCostBased);
+    if (fb.ok()) {
+      for (const OperatorFeedback& f : fb->operator_feedback) {
+        if (f.estimated >= 0) max_q_error = std::max(max_q_error, f.q_error);
+      }
+    }
+  }
+
+  // A policy scores when the plan it picked is within 10% of the fastest
+  // candidate (sub-ms medians jitter; near-ties are not mispicks).
+  auto time_of = [](const Point& p, const std::string& shape) {
+    return shape == "canonical" ? p.t_canonical
+           : shape == "simple"  ? p.t_simple
+                                : p.t_subquery;
+  };
+  auto accuracy = [&](auto shape_of_point) {
+    int hits = 0;
+    for (const Point& p : points) {
+      const double best_t = time_of(p, p.best);
+      if (time_of(p, shape_of_point(p)) <= best_t * 1.10) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(points.size());
+  };
+  const double acc_cost_based =
+      accuracy([](const Point& p) { return p.cost_based_shape; });
+  const double acc_by_rank =
+      accuracy([](const Point& p) { return p.by_rank_shape; });
+  const double acc_canonical =
+      accuracy([](const Point&) { return std::string("canonical"); });
+  const double acc_simple =
+      accuracy([](const Point&) { return std::string("simple"); });
+  const double acc_subquery =
+      accuracy([](const Point&) { return std::string("subquery"); });
+
+  double analyze_ms = 0;
+  for (const Point& p : points) analyze_ms += p.analyze_ms;
+  analyze_ms /= static_cast<double>(points.size());
+
+  if (json) {
+    std::printf("{\n  \"rows\": %d,\n  \"runs\": %d,\n  \"points\": [\n",
+                rows, runs);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::printf(
+          "    {\"skew\": %.1f, \"canonical_ms\": %.3f, \"simple_ms\": "
+          "%.3f, \"subquery_ms\": %.3f, \"by_rank_ms\": %.3f, "
+          "\"cost_based_ms\": %.3f, \"best\": \"%s\", \"by_rank_pick\": "
+          "\"%s\", \"cost_based_pick\": \"%s\", \"analyze_ms\": %.3f}%s\n",
+          p.skew, p.t_canonical, p.t_simple, p.t_subquery, p.t_by_rank,
+          p.t_cost_based, p.best.c_str(), p.by_rank_shape.c_str(),
+          p.cost_based_shape.c_str(), p.analyze_ms,
+          i + 1 < points.size() ? "," : "");
+    }
+    std::printf(
+        "  ],\n  \"pick_accuracy\": {\"cost_based\": %.3f, \"by_rank\": "
+        "%.3f, \"forced_canonical\": %.3f, \"forced_simple\": %.3f, "
+        "\"forced_subquery\": %.3f},\n  \"analyze_ms_mean\": %.3f,\n"
+        "  \"max_q_error_post_analyze\": %.3f\n}\n",
+        acc_cost_based, acc_by_rank, acc_canonical, acc_simple, acc_subquery,
+        analyze_ms, max_q_error);
+    return 0;
+  }
+
+  ResultTable table({"canonical", "simple", "subquery", "by-rank",
+                     "cost-based", "best", "cb pick"});
+  for (const Point& p : points) {
+    char label[32];
+    std::snprintf(label, sizeof label, "skew %.1f", p.skew);
+    auto ms = [](double t) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3fms", t);
+      return std::string(buf);
+    };
+    table.AddRow(label, {ms(p.t_canonical), ms(p.t_simple),
+                         ms(p.t_subquery), ms(p.t_by_rank),
+                         ms(p.t_cost_based), p.best, p.cost_based_shape});
+  }
+  table.Print();
+  std::printf(
+      "\npick accuracy (within 10%% of fastest): cost-based %.0f%%, "
+      "by-rank %.0f%%, forced canonical %.0f%%, forced simple %.0f%%, "
+      "forced subquery %.0f%%\n",
+      acc_cost_based * 100, acc_by_rank * 100, acc_canonical * 100,
+      acc_simple * 100, acc_subquery * 100);
+  std::printf("ANALYZE overhead: %.3f ms mean for r(%d)+s(2) per dataset\n",
+              analyze_ms, rows);
+  std::printf("max per-operator q-error after ANALYZE: %.3f\n", max_q_error);
+  return 0;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # PR benchmark suite: runs the selection microbenchmarks and the Q2d
 # end-to-end harness (median-of-5 each), plus a thread-scaling curve for
-# the morsel-parallel executor, and writes BENCH_PR2.json.
+# the morsel-parallel executor and the statistics-subsystem sweep
+# (cost-based pick accuracy across disjunct skews, ANALYZE overhead,
+# post-ANALYZE q-error), and writes BENCH_PR3.json.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR2.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR3.json)
 #
 # Seed baselines were measured on the same machine at the seed commit
 # (634af06, row-at-a-time execution) with the identical protocol:
@@ -16,11 +18,12 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR2.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR3.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 Q2D=${BUILD_DIR}/bench/bench_q2d
+STATS=${BUILD_DIR}/bench/bench_stats
 
-[[ -x ${OPS} && -x ${Q2D} ]] || {
+[[ -x ${OPS} && -x ${Q2D} && -x ${STATS} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -46,14 +49,19 @@ for t in 1 2 4 8; do
   done
 done
 
+echo "== bench_stats (skew sweep, median of 5 each) =="
+STATS_JSON=$(mktemp)
+"${STATS}" --json 2>/dev/null >"${STATS_JSON}"
+
 NPROC=$(nproc 2>/dev/null || echo 1)
 
-python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" <<'EOF'
+python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
+  "${STATS_JSON}" <<'EOF'
 import json
 import statistics
 import sys
 
-ops_json, q2d_txt, scale_txt, nproc, out_path = sys.argv[1:6]
+ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json = sys.argv[1:7]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -63,10 +71,16 @@ SEED = {
             "canonical": 14.0, "unnested": 7.0},
 }
 
-report = {"benchmark": "BENCH_PR2", "protocol": "median-of-5",
+report = {"benchmark": "BENCH_PR3", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
           "operators": {}, "bypass_select_thread_scaling": {},
-          "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {}}
+          "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
+          "stats_subsystem": {}}
+
+# The statistics sweep emits its JSON directly (pick accuracy per
+# policy, per-skew timings, ANALYZE overhead, post-ANALYZE q-error).
+with open(stats_json) as f:
+    report["stats_subsystem"] = json.load(f)
 
 ops_scale = {}
 with open(ops_json) as f:
@@ -129,4 +143,4 @@ print(json.dumps(report, indent=2))
 print(f"\nwrote {out_path}")
 EOF
 
-rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}"
+rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}"

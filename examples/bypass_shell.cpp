@@ -7,6 +7,8 @@
 //   bypassdb> \dot SELECT ...          (Graphviz of the rewritten plan)
 //   bypassdb> \canonical on|off        (toggle unnesting)
 //   bypassdb> \load mytable file.csv   (append CSV into a table)
+//   bypassdb> \analyze [table]         (collect statistics; all tables if bare)
+//   bypassdb> \stats <sql>             (run + per-operator est/actual/q-error)
 //   bypassdb> \tables
 //   bypassdb> \q
 //
@@ -83,6 +85,7 @@ int main() {
   std::printf(
       "bypassdb shell — RST (2000 rows each) and TPC-H SF 0.01 loaded.\n"
       "Commands: \\explain <sql>, \\dot <sql>, \\canonical on|off,\n"
+      "          \\analyze [table], \\stats <sql>,\n"
       "          \\load <table> <file.csv>, \\tables, \\q\n");
 
   std::string line;
@@ -123,6 +126,38 @@ int main() {
         }
         Status st = LoadCsvFile(path, *table);
         std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+        continue;
+      }
+      if (name == "analyze") {
+        std::string table_name;
+        cmd >> table_name;
+        if (table_name.empty()) {
+          auto reports = db.AnalyzeAll();
+          if (!reports.ok()) {
+            std::printf("%s\n", reports.status().ToString().c_str());
+            continue;
+          }
+          for (const AnalyzeReport& report : *reports) {
+            std::printf("%s", report.summary.c_str());
+          }
+        } else {
+          auto report = db.Analyze(table_name);
+          std::printf("%s", report.ok()
+                                ? report->summary.c_str()
+                                : (report.status().ToString() + "\n").c_str());
+        }
+        continue;
+      }
+      if (name == "stats") {
+        std::string rest;
+        std::getline(cmd, rest);
+        auto result = db.Query(rest, options);
+        if (!result.ok()) {
+          std::printf("%s\n", result.status().ToString().c_str());
+          continue;
+        }
+        PrintResult(*result);
+        std::printf("%s", result->operator_stats.c_str());
         continue;
       }
       if (name == "explain") {

@@ -29,11 +29,19 @@ bool Catalog::HasTable(const std::string& name) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  const auto it = tables_.find(ToLower(name));
+  const std::string key = ToLower(name);
+  const auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
   }
   tables_.erase(it);
+  {
+    std::unique_lock lock(stats_mutex_);
+    if (table_stats_.erase(key) > 0) {
+      ++stats_versions_[key];
+      stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
   return Status::OK();
 }
 
@@ -42,6 +50,29 @@ std::vector<std::string> Catalog::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
   return names;
+}
+
+void Catalog::SetTableStatistics(const std::string& name,
+                                 TableStatistics stats) {
+  const std::string key = ToLower(name);
+  std::unique_lock lock(stats_mutex_);
+  table_stats_[key] =
+      std::make_shared<const TableStatistics>(std::move(stats));
+  ++stats_versions_[key];
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const TableStatistics> Catalog::GetTableStatistics(
+    const std::string& name) const {
+  std::shared_lock lock(stats_mutex_);
+  const auto it = table_stats_.find(ToLower(name));
+  return it == table_stats_.end() ? nullptr : it->second;
+}
+
+uint64_t Catalog::TableStatsVersion(const std::string& name) const {
+  std::shared_lock lock(stats_mutex_);
+  const auto it = stats_versions_.find(ToLower(name));
+  return it == stats_versions_.end() ? 0 : it->second;
 }
 
 }  // namespace bypass

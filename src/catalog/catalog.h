@@ -1,19 +1,33 @@
-// Catalog: the namespace of base tables.
+// Catalog: the namespace of base tables, plus the ANALYZE-built
+// statistics store. Statistics are versioned: every update bumps a
+// global stats epoch and the owning table's stats version, which
+// prepared queries use to detect that their plan was costed against
+// stale statistics and must be re-planned.
 #ifndef BYPASSDB_CATALOG_CATALOG_H_
 #define BYPASSDB_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/table.h"
 #include "common/result.h"
+#include "stats/column_stats.h"
 
 namespace bypass {
 
 /// Owns all base tables of a database instance. Table names are
 /// case-insensitive (stored lower-cased).
+///
+/// Thread safety: the table namespace itself follows the engine's
+/// contract (DDL never races queries), but the statistics store may be
+/// read by concurrent planning threads while an ANALYZE publishes new
+/// statistics, so it is guarded by a shared mutex and hands out
+/// shared_ptr snapshots that stay valid across republication.
 class Catalog {
  public:
   Catalog() = default;
@@ -28,14 +42,41 @@ class Catalog {
 
   bool HasTable(const std::string& name) const;
 
-  /// Removes a table; NotFound if absent.
+  /// Removes a table (and its statistics); NotFound if absent.
   Status DropTable(const std::string& name);
 
   /// All table names, sorted.
   std::vector<std::string> TableNames() const;
 
+  // --- ANALYZE statistics store ---
+
+  /// Publishes statistics for `name`, bumping the global stats epoch and
+  /// the table's stats version.
+  void SetTableStatistics(const std::string& name, TableStatistics stats);
+
+  /// Snapshot of `name`'s statistics; nullptr when never analyzed. The
+  /// snapshot is immutable and survives later republication.
+  std::shared_ptr<const TableStatistics> GetTableStatistics(
+      const std::string& name) const;
+
+  /// Monotonic counter bumped by every statistics change anywhere in the
+  /// catalog; cheap staleness fast-path for prepared queries.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Per-table statistics version (0: never analyzed). Bumped on every
+  /// SetTableStatistics for the table and on DropTable.
+  uint64_t TableStatsVersion(const std::string& name) const;
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+
+  mutable std::shared_mutex stats_mutex_;
+  std::map<std::string, std::shared_ptr<const TableStatistics>>
+      table_stats_;
+  std::map<std::string, uint64_t> stats_versions_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace bypass

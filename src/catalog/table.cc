@@ -27,7 +27,7 @@ Status Table::Append(Row row) {
     }
   }
   rows_.push_back(std::move(row));
-  stats_valid_ = false;
+  stats_valid_.store(false, std::memory_order_release);
   return Status::OK();
 }
 
@@ -44,17 +44,22 @@ Status Table::AppendUnchecked(std::vector<Row> rows) {
     rows_.reserve(rows_.size() + rows.size());
     for (Row& r : rows) rows_.push_back(std::move(r));
   }
-  stats_valid_ = false;
+  stats_valid_.store(false, std::memory_order_release);
   return Status::OK();
 }
 
 void Table::Clear() {
   rows_.clear();
   stats_.clear();
-  stats_valid_ = false;
+  stats_valid_.store(false, std::memory_order_release);
 }
 
 void Table::AnalyzeStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  AnalyzeStatsLocked();
+}
+
+void Table::AnalyzeStatsLocked() const {
   stats_.assign(static_cast<size_t>(schema_.num_columns()), ColumnStats{});
   for (int c = 0; c < schema_.num_columns(); ++c) {
     ColumnStats& st = stats_[static_cast<size_t>(c)];
@@ -80,11 +85,18 @@ void Table::AnalyzeStats() const {
     }
     st.distinct_count = static_cast<int64_t>(seen_hashes.size());
   }
-  stats_valid_ = true;
+  stats_valid_.store(true, std::memory_order_release);
 }
 
 const std::vector<ColumnStats>& Table::stats() const {
-  if (!stats_valid_) AnalyzeStats();
+  // Double-checked init so concurrent planners never race the compute;
+  // the release store above pairs with this acquire load.
+  if (!stats_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (!stats_valid_.load(std::memory_order_relaxed)) {
+      AnalyzeStatsLocked();
+    }
+  }
   return stats_;
 }
 

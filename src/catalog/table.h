@@ -2,7 +2,9 @@
 #ifndef BYPASSDB_CATALOG_TABLE_H_
 #define BYPASSDB_CATALOG_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,12 +23,34 @@ struct ColumnStats {
   int64_t null_count = 0;
 };
 
-/// A heap of rows with a schema. Not thread-safe; the engine is
-/// single-threaded by design (the paper's experiments are single-stream).
+/// A heap of rows with a schema. Row mutation is not thread-safe (loads
+/// never race queries by contract), but the lazily computed statistics
+/// may be demanded by concurrent planning threads, so their
+/// initialization is guarded.
 class Table {
  public:
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Movable (the guard mutex stays fresh; moves never race readers by
+  // contract), not copyable.
+  Table(Table&& other) noexcept
+      : name_(std::move(other.name_)),
+        schema_(std::move(other.schema_)),
+        rows_(std::move(other.rows_)),
+        stats_(std::move(other.stats_)),
+        stats_valid_(other.stats_valid_.load(std::memory_order_relaxed)) {}
+  Table& operator=(Table&& other) noexcept {
+    name_ = std::move(other.name_);
+    schema_ = std::move(other.schema_);
+    rows_ = std::move(other.rows_);
+    stats_ = std::move(other.stats_);
+    stats_valid_.store(other.stats_valid_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -47,14 +71,18 @@ class Table {
   void AnalyzeStats() const;
 
   /// Per-column statistics (computed on first use after modification).
+  /// Safe to call from concurrent readers; the first caller computes.
   const std::vector<ColumnStats>& stats() const;
 
  private:
+  void AnalyzeStatsLocked() const;
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  mutable std::mutex stats_mutex_;
   mutable std::vector<ColumnStats> stats_;
-  mutable bool stats_valid_ = false;
+  mutable std::atomic<bool> stats_valid_{false};
 };
 
 }  // namespace bypass

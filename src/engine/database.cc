@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "algebra/plan_util.h"
@@ -15,6 +16,25 @@
 namespace bypass {
 
 namespace {
+
+/// Base-table names the plan touches, descending into nested subquery
+/// blocks (VisitPlan deliberately stops at block boundaries, but stats
+/// staleness cares about every table the whole query reads).
+void CollectReferencedTables(const LogicalOpPtr& root,
+                             std::set<std::string>* out) {
+  VisitPlan(root, [out](const LogicalOpPtr& node) {
+    if (node->kind() == LogicalOpKind::kGet) {
+      out->insert(static_cast<const GetOp&>(*node).table_name());
+    }
+    for (const ExprPtr& e : NodeExpressions(*node)) {
+      VisitExprMutable(e.get(), [out](Expr* expr) {
+        if (expr->kind() != ExprKind::kSubquery) return;
+        CollectReferencedTables(static_cast<SubqueryExpr*>(expr)->plan(),
+                                out);
+      });
+    }
+  });
+}
 
 /// Reorders every disjunction in the plan's selection predicates.
 /// `subquery_first=false` puts cheap subquery-free disjuncts first so the
@@ -60,16 +80,58 @@ Result<PlannedLogical> PlanLogical(const Catalog* catalog,
   if (options.unnest) {
     RewriteOptions ropts = options.rewrite;
     ropts.enable_unnesting = true;
+    ropts.catalog = catalog;
     UnnestingRewriter rewriter(ropts);
     LogicalOpPtr before = working;
     BYPASS_ASSIGN_OR_RETURN(working, rewriter.Rewrite(working));
     out.applied_rules = rewriter.applied_rules();
     if (options.cost_based && working != before) {
-      const PlanEstimate canonical_cost = EstimatePlan(*before, catalog);
-      const PlanEstimate unnested_cost = EstimatePlan(*working, catalog);
-      if (canonical_cost.cost < unnested_cost.cost) {
-        working = before;
-        out.applied_rules = {"cost-based: kept canonical"};
+      // Three-way choice on estimated cost: the rank-ordered rewrite
+      // competes against both forced cascade shapes (Eqv. 2 / Eqv. 3)
+      // and against the canonical plan. Ties keep the earlier
+      // candidate, so the rank-based rewrite wins unless something is
+      // strictly cheaper.
+      struct Candidate {
+        LogicalOpPtr plan;
+        std::vector<std::string> rules;
+        double cost = 0;
+        const char* label = nullptr;  ///< logged when a forced shape wins
+      };
+      std::vector<Candidate> candidates;
+      candidates.push_back({working, out.applied_rules,
+                            EstimatePlan(*working, catalog).cost,
+                            nullptr});
+      if (ropts.disjunct_order == DisjunctOrder::kByRank) {
+        const std::pair<DisjunctOrder, const char*> forced[] = {
+            {DisjunctOrder::kSimpleFirst,
+             "cost-based: picked forced simple-first"},
+            {DisjunctOrder::kSubqueryFirst,
+             "cost-based: picked forced subquery-first"},
+        };
+        for (const auto& [order, label] : forced) {
+          RewriteOptions fopts = ropts;
+          fopts.disjunct_order = order;
+          UnnestingRewriter forced_rewriter(fopts);
+          BYPASS_ASSIGN_OR_RETURN(
+              LogicalOpPtr plan,
+              forced_rewriter.Rewrite(CloneLogicalPlan(before)));
+          candidates.push_back({plan, forced_rewriter.applied_rules(),
+                                EstimatePlan(*plan, catalog).cost,
+                                label});
+        }
+      }
+      candidates.push_back({before,
+                            {"cost-based: kept canonical"},
+                            EstimatePlan(*before, catalog).cost,
+                            nullptr});
+      size_t best = 0;
+      for (size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].cost < candidates[best].cost) best = i;
+      }
+      working = candidates[best].plan;
+      out.applied_rules = std::move(candidates[best].rules);
+      if (candidates[best].label != nullptr) {
+        out.applied_rules.emplace_back(candidates[best].label);
       }
     }
   }
@@ -83,8 +145,36 @@ Result<PlannedLogical> PlanLogical(const Catalog* catalog,
 
 Result<QueryResult> PreparedQuery::Execute() { return Execute(options_); }
 
+Status PreparedQuery::ReplanIfStale() {
+  // Fast path: the global epoch only moves when some table's statistics
+  // change, so an equal epoch proves our plan is still current.
+  const Catalog* catalog = db_->catalog();
+  const uint64_t epoch = catalog->stats_epoch();
+  if (epoch == stats_epoch_) return Status::OK();
+  bool stale = false;
+  for (const auto& [table, version] : table_stats_versions_) {
+    if (catalog->TableStatsVersion(table) != version) {
+      stale = true;
+      break;
+    }
+  }
+  if (!stale) {
+    // Statistics moved for tables we do not read; remember the new epoch
+    // so subsequent Executes take the fast path again.
+    stats_epoch_ = epoch;
+    return Status::OK();
+  }
+  BYPASS_ASSIGN_OR_RETURN(PreparedQuery fresh,
+                          db_->Prepare(sql_, options_));
+  const int replans = replan_count_ + 1;
+  *this = std::move(fresh);
+  replan_count_ = replans;
+  return Status::OK();
+}
+
 Result<QueryResult> PreparedQuery::Execute(
     const QueryOptions& run_options) {
+  BYPASS_RETURN_IF_ERROR(ReplanIfStale());
   QueryResult result;
   result.schema = plan_.output_schema;
   result.applied_rules = applied_rules_;
@@ -134,6 +224,10 @@ Result<QueryResult> PreparedQuery::Execute(
   }
   if (run_options.collect_plans) {
     result.operator_stats = plan_.StatsString();
+    result.operator_feedback = CollectOperatorFeedback(plan_);
+  }
+  if (run_options.refresh_stats) {
+    ApplyCardinalityFeedback(plan_, db_->catalog());
   }
   result.rows = plan_.sink->TakeRows();
   return result;
@@ -146,6 +240,46 @@ Database::~Database() = default;
 Result<Table*> Database::CreateTable(const std::string& name,
                                      Schema schema) {
   return catalog_.CreateTable(name, std::move(schema));
+}
+
+Result<AnalyzeReport> Database::Analyze(const std::string& table_name,
+                                        const AnalyzeOptions& options) {
+  BYPASS_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(table_name));
+  const auto start = std::chrono::steady_clock::now();
+  TableStatistics stats = AnalyzeTable(*table, options);
+  AnalyzeReport report;
+  report.table = table->name();
+  report.row_count = stats.row_count;
+  std::string summary = table->name() + ": " + stats.ToString() + "\n";
+  for (int i = 0; i < table->schema().num_columns(); ++i) {
+    const ColumnStatistics& col = stats.columns[static_cast<size_t>(i)];
+    summary += "  " + table->schema().column(i).name + ": " +
+               std::to_string(col.null_count) + " nulls, ndv " +
+               std::to_string(col.distinct_count);
+    if (!col.min.is_null()) {
+      summary += ", min " + col.min.ToString() + ", max " +
+                 col.max.ToString();
+    }
+    if (!col.histogram.empty()) {
+      summary += ", " + std::to_string(col.histogram.num_buckets()) +
+                 " histogram buckets";
+    }
+    summary += "\n";
+  }
+  report.summary = std::move(summary);
+  catalog_.SetTableStatistics(table->name(), std::move(stats));
+  report.analyze_time = std::chrono::steady_clock::now() - start;
+  return report;
+}
+
+Result<std::vector<AnalyzeReport>> Database::AnalyzeAll(
+    const AnalyzeOptions& options) {
+  std::vector<AnalyzeReport> reports;
+  for (const std::string& name : catalog_.TableNames()) {
+    BYPASS_ASSIGN_OR_RETURN(AnalyzeReport report, Analyze(name, options));
+    reports.push_back(std::move(report));
+  }
+  return reports;
 }
 
 WorkerPool* Database::EnsurePool(int num_threads) {
@@ -171,6 +305,14 @@ Result<PreparedQuery> Database::Prepare(const std::string& sql,
   prepared.db_ = this;
   prepared.options_ = options;
   prepared.applied_rules_ = std::move(planned.applied_rules);
+  prepared.sql_ = sql;
+  prepared.stats_epoch_ = catalog_.stats_epoch();
+  std::set<std::string> referenced;
+  CollectReferencedTables(planned.canonical, &referenced);
+  for (const std::string& table : referenced) {
+    prepared.table_stats_versions_.emplace_back(
+        table, catalog_.TableStatsVersion(table));
+  }
   if (options.collect_plans) {
     prepared.canonical_plan_ = PlanToString(*planned.canonical);
     prepared.optimized_plan_ = PlanToString(*planned.optimized);

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -24,6 +25,7 @@
 #include "exec/executor.h"
 #include "exec/worker_pool.h"
 #include "rewrite/unnest.h"
+#include "stats/analyzer.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -31,12 +33,22 @@ namespace bypass {
 
 class Database;
 
+/// What ANALYZE did for one table.
+struct AnalyzeReport {
+  std::string table;
+  int64_t row_count = 0;
+  std::chrono::steady_clock::duration analyze_time{};
+  std::string summary;  ///< human-readable per-column statistics
+};
+
 /// A parsed, optimized, and lowered SELECT, ready to run repeatedly.
 /// Movable, not copyable; must not outlive its Database, and runs are not
 /// reentrant (one Execute at a time per PreparedQuery). Plan-shape
 /// options are baked in at Prepare time; each Execute may override the
 /// execution knobs (num_threads, morsel_size, batch_size, timeout,
-/// collect_plans).
+/// collect_plans). If ANALYZE refreshes statistics for a table the plan
+/// references, the next Execute transparently re-plans against the new
+/// statistics (cheap epoch check when nothing changed).
 class PreparedQuery {
  public:
   PreparedQuery(PreparedQuery&&) = default;
@@ -63,10 +75,16 @@ class PreparedQuery {
   std::chrono::steady_clock::duration optimize_time() const {
     return optimize_time_;
   }
+  /// How many times stale statistics forced a re-plan (testing aid).
+  int replan_count() const { return replan_count_; }
 
  private:
   friend class Database;
   PreparedQuery() = default;
+
+  /// Re-plans through Database::Prepare when the catalog's statistics
+  /// changed for a table this plan references.
+  Status ReplanIfStale();
 
   Database* db_ = nullptr;
   QueryOptions options_;
@@ -75,6 +93,12 @@ class PreparedQuery {
   std::string canonical_plan_;
   std::string optimized_plan_;
   std::chrono::steady_clock::duration optimize_time_{};
+  std::string sql_;
+  /// Catalog-wide statistics epoch observed at Prepare time; a cheap
+  /// mismatch check gates the per-table version comparison below.
+  uint64_t stats_epoch_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> table_stats_versions_;
+  int replan_count_ = 0;
 };
 
 class Database {
@@ -89,6 +113,18 @@ class Database {
 
   /// DDL convenience: creates a table with the given columns.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// ANALYZE: one streaming pass over the table builds row count, per
+  /// column null fraction, min/max, HyperLogLog distinct estimate and an
+  /// equi-depth histogram, then publishes them in the catalog (bumping
+  /// the statistics epoch, which invalidates prepared queries that
+  /// reference the table).
+  Result<AnalyzeReport> Analyze(const std::string& table_name,
+                                const AnalyzeOptions& options = {});
+
+  /// ANALYZE for every table in the catalog.
+  Result<std::vector<AnalyzeReport>> AnalyzeAll(
+      const AnalyzeOptions& options = {});
 
   /// Runs one SELECT statement (Prepare + Execute).
   Result<QueryResult> Query(const std::string& sql,

@@ -16,6 +16,7 @@
 
 #include "exec/exec_context.h"
 #include "rewrite/unnest.h"
+#include "stats/feedback.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -123,6 +124,11 @@ struct QueryOptions {
   int num_threads = 1;
   /// Rows per morsel handed to a worker in one dispatch (num_threads>1).
   size_t morsel_size = kDefaultMorselSize;
+  /// After execution, write actual base-table cardinalities back to the
+  /// catalog when they drifted from the ANALYZE row counts (runtime
+  /// cardinality feedback). The write bumps the statistics epoch, so
+  /// prepared queries over the affected tables re-plan on their next run.
+  bool refresh_stats = false;
 };
 
 struct QueryResult {
@@ -144,6 +150,8 @@ struct QueryResult {
   std::string optimized_plan;   ///< logical plan after unnesting
   std::string physical_plan;
   std::string operator_stats;   ///< per-operator emitted-row accounting
+  /// Estimate-vs-actual cardinality per operator (collect_plans only).
+  std::vector<OperatorFeedback> operator_feedback;
   std::vector<std::string> applied_rules;  ///< e.g. {"Eqv.2", "Eqv.1"}
 };
 

@@ -1,7 +1,10 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
+
+#include "stats/feedback.h"
 
 namespace bypass {
 
@@ -54,7 +57,19 @@ std::string PhysicalPlan::StatsString() const {
       os << " [+], " << op->rows_emitted(1) << " [-]";
       batches += op->batches_emitted(1);
     }
-    os << " rows (" << batches << " batches)\n";
+    os << " rows (" << batches << " batches)";
+    if (op->estimated_rows(0) >= 0) {
+      os << " | est " << std::fixed << std::setprecision(0)
+         << op->estimated_rows(0);
+      if (op->num_out_ports() > 1 && op->estimated_rows(1) >= 0) {
+        os << " [+], " << op->estimated_rows(1) << " [-]";
+      }
+      os << ", q-error " << std::setprecision(2)
+         << QError(op->estimated_rows(0),
+                   static_cast<double>(op->rows_emitted(0)))
+         << std::defaultfloat;
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -35,7 +35,7 @@ inline constexpr int kPortNegative = 1;
 
 class PhysOp {
  public:
-  PhysOp() : num_out_ports_(1), out_edges_(1) {}
+  PhysOp() : num_out_ports_(1), out_edges_(1), est_rows_(1, -1.0) {}
   virtual ~PhysOp() = default;
   PhysOp(const PhysOp&) = delete;
   PhysOp& operator=(const PhysOp&) = delete;
@@ -68,10 +68,22 @@ class PhysOp {
   int64_t rows_emitted(int out_port) const;
   int64_t batches_emitted(int out_port) const;
 
+  /// Planner-annotated expected cardinality of `out_port`; negative when
+  /// the planner attached no estimate. Compared against rows_emitted
+  /// after a run for per-operator q-error reporting and cardinality
+  /// feedback.
+  double estimated_rows(int out_port) const {
+    return est_rows_[static_cast<size_t>(out_port)];
+  }
+  void set_estimated_rows(int out_port, double rows) {
+    est_rows_[static_cast<size_t>(out_port)] = rows;
+  }
+
  protected:
   explicit PhysOp(int num_out_ports)
       : num_out_ports_(num_out_ports),
-        out_edges_(static_cast<size_t>(num_out_ports)) {}
+        out_edges_(static_cast<size_t>(num_out_ports)),
+        est_rows_(static_cast<size_t>(num_out_ports), -1.0) {}
 
   /// Forwards a batch to all consumers of `out_port`. Empty batches are
   /// dropped — consumers never see them. The last consumer receives the
@@ -123,6 +135,7 @@ class PhysOp {
 
   const int num_out_ports_;
   std::vector<std::vector<Edge>> out_edges_;
+  std::vector<double> est_rows_;
   std::vector<WorkerState> workers_;
   size_t batch_size_ = kDefaultBatchSize;
 };

@@ -31,6 +31,9 @@ class TableScanOp : public UnaryPhysOp {
   /// Table cardinality, for the executor's morsel splitter.
   size_t num_rows() const { return table_->rows().size(); }
 
+  /// The scanned table's name, for runtime cardinality feedback.
+  const std::string& table_name() const { return table_->name(); }
+
   Status Consume(int, RowBatch) override {
     return Status::Internal("TableScan has no input");
   }

@@ -16,7 +16,9 @@ constexpr double kGroupCompression = 0.1;  // ndv(keys) / rows heuristic
 
 class Estimator : public StatsProvider {
  public:
-  explicit Estimator(const Catalog* catalog) : catalog_(catalog) {}
+  explicit Estimator(const Catalog* catalog,
+                     std::vector<std::string>* notes = nullptr)
+      : catalog_(catalog), notes_(notes) {}
 
   /// StatsProvider over the base tables seen so far (children are
   /// estimated before their parents' predicates, so a selection's scans
@@ -33,6 +35,27 @@ class Estimator : public StatsProvider {
     return &table->stats()[static_cast<size_t>(*slot)];
   }
 
+  /// Rich ANALYZE statistics for aliases whose table has them.
+  const ColumnStatistics* GetColumnStatistics(
+      const std::string& qualifier, const std::string& name,
+      int64_t* rows) const override {
+    const auto it = alias_stats_.find(qualifier);
+    if (it == alias_stats_.end()) return nullptr;
+    const auto table_it = alias_tables_.find(qualifier);
+    if (table_it == alias_tables_.end()) return nullptr;
+    auto slot = table_it->second->schema().FindColumn("", name);
+    if (!slot.ok() ||
+        static_cast<size_t>(*slot) >= it->second->columns.size()) {
+      return nullptr;
+    }
+    *rows = it->second->row_count;
+    return &it->second->columns[static_cast<size_t>(*slot)];
+  }
+
+  const std::unordered_map<const LogicalOp*, PlanEstimate>& memo() const {
+    return memo_;
+  }
+
   PlanEstimate Node(const LogicalOp& node) {
     const auto it = memo_.find(&node);
     if (it != memo_.end()) return it->second;
@@ -46,15 +69,10 @@ class Estimator : public StatsProvider {
     PlanEstimate est = Node(*input.op);
     if (input.port == StreamPort::kNegative) {
       // The producer's estimate describes its positive stream; the
-      // negative stream carries the complement cardinality — relative to
-      // the input for σ±, relative to the cross product for ⋈±. The
-      // producer's cost is attributed to the positive-stream edge only,
-      // so consumers of both streams do not double-count it.
-      double in_rows = Node(*input.op->inputs()[0].op).rows;
-      if (input.op->kind() == LogicalOpKind::kBypassJoin) {
-        in_rows *= Node(*input.op->inputs()[1].op).rows;
-      }
-      est.rows = std::max(in_rows - est.rows, 1.0);
+      // negative stream carries the complement cardinality (neg_rows).
+      // The producer's cost is attributed to the positive-stream edge
+      // only, so consumers of both streams do not double-count it.
+      est.rows = std::max(est.neg_rows, 1.0);
       est.cost = 0;
     }
     return est;
@@ -85,11 +103,30 @@ class Estimator : public StatsProvider {
       case LogicalOpKind::kGet: {
         const auto& get = static_cast<const GetOp&>(node);
         double rows = kDefaultTableRows;
-        if (catalog_ != nullptr) {
+        if (catalog_ == nullptr) {
+          Note("no catalog: '" + get.table_name() + "' assumed " +
+               std::to_string(static_cast<int64_t>(kDefaultTableRows)) +
+               " rows");
+        } else {
           auto table = catalog_->GetTable(get.table_name());
-          if (table.ok()) {
-            rows = static_cast<double>((*table)->num_rows());
+          if (!table.ok()) {
+            Note("no table: '" + get.table_name() + "' assumed " +
+                 std::to_string(static_cast<int64_t>(kDefaultTableRows)) +
+                 " rows");
+          } else {
             alias_tables_.emplace(get.alias(), *table);
+            auto analyzed =
+                catalog_->GetTableStatistics(get.table_name());
+            if (analyzed != nullptr) {
+              rows = static_cast<double>(analyzed->row_count);
+              alias_stats_.emplace(get.alias(), std::move(analyzed));
+            } else {
+              // Never invent a constant when the table is at hand: its
+              // actual row count is the honest fallback.
+              rows = static_cast<double>((*table)->num_rows());
+              Note("no stats: '" + get.table_name() +
+                   "' (using actual row count)");
+            }
           }
         }
         return {rows, rows};
@@ -109,8 +146,10 @@ class Estimator : public StatsProvider {
         double upfront = 0;
         const double row_cost = PredicateRowCost(sel.predicate(),
                                                  &upfront);
-        return {in.rows * EstimateSelectivity(*sel.predicate(), this),
-                in.cost + upfront + in.rows * (1.0 + row_cost)};
+        const double out =
+            in.rows * EstimateSelectivity(*sel.predicate(), this);
+        return {out, in.cost + upfront + in.rows * (1.0 + row_cost),
+                std::max(in.rows - out, 0.0)};
       }
       case LogicalOpKind::kProject:
       case LogicalOpKind::kMap:
@@ -145,8 +184,9 @@ class Estimator : public StatsProvider {
         const PlanEstimate r = Input(node.inputs()[1]);
         const double sel = EstimateSelectivity(*join.predicate(), this);
         // Both streams are produced by one nested-loop pass.
-        return {l.rows * r.rows * sel,
-                l.cost + r.cost + l.rows * r.rows};
+        const double pairs = l.rows * r.rows;
+        return {pairs * sel, l.cost + r.cost + pairs,
+                std::max(pairs * (1.0 - sel), 0.0)};
       }
       case LogicalOpKind::kLeftOuterJoin: {
         const auto& join = static_cast<const LeftOuterJoinOp&>(node);
@@ -204,6 +244,15 @@ class Estimator : public StatsProvider {
     return {1, 1};
   }
 
+  /// Records a cardinality-source caveat once (deduplicated).
+  void Note(std::string note) {
+    if (notes_ == nullptr) return;
+    if (std::find(notes_->begin(), notes_->end(), note) != notes_->end()) {
+      return;
+    }
+    notes_->push_back(std::move(note));
+  }
+
   static bool HasEquiConjunct(const Expr& pred) {
     for (const ExprPtr& c : SplitConjuncts(pred.Clone())) {
       if (c->kind() == ExprKind::kComparison &&
@@ -216,14 +265,19 @@ class Estimator : public StatsProvider {
   }
 
   const Catalog* catalog_;
+  std::vector<std::string>* notes_;
   std::unordered_map<const LogicalOp*, PlanEstimate> memo_;
   mutable std::unordered_map<std::string, const Table*> alias_tables_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const TableStatistics>>
+      alias_stats_;
 };
 
 }  // namespace
 
-PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog) {
-  Estimator estimator(catalog);
+PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog,
+                          std::vector<std::string>* notes) {
+  Estimator estimator(catalog, notes);
   return estimator.Node(root);
 }
 
@@ -231,6 +285,13 @@ PlanEstimate EstimateInput(const LogicalInput& input,
                            const Catalog* catalog) {
   Estimator estimator(catalog);
   return estimator.Input(input);
+}
+
+std::unordered_map<const LogicalOp*, PlanEstimate> EstimateAllNodes(
+    const LogicalOp& root, const Catalog* catalog) {
+  Estimator estimator(catalog);
+  estimator.Node(root);
+  return estimator.memo();
 }
 
 }  // namespace bypass

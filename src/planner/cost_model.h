@@ -8,6 +8,10 @@
 #ifndef BYPASSDB_PLANNER_COST_MODEL_H_
 #define BYPASSDB_PLANNER_COST_MODEL_H_
 
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "algebra/logical_op.h"
 #include "catalog/catalog.h"
 
@@ -16,19 +20,31 @@ namespace bypass {
 struct PlanEstimate {
   double rows = 0;  ///< estimated output cardinality (positive stream)
   double cost = 0;  ///< estimated total work to produce it
+  /// Bypass operators only: estimated cardinality of the complement
+  /// (negative) stream. Zero elsewhere.
+  double neg_rows = 0;
 };
 
-/// Estimates a plan bottom-up. `catalog` supplies base-table
-/// cardinalities (nullptr: 1000 rows per table). Nested subquery blocks
-/// inside selection predicates are charged once per input row when
-/// correlated — the canonical nested-loop cost — and once in total when
-/// uncorrelated.
-PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog);
+/// Estimates a plan bottom-up. Base-table cardinalities come from ANALYZE
+/// statistics when present, otherwise from the table's actual row count
+/// (noted in `notes` as "no stats"); a nullptr catalog or unknown table
+/// falls back to 1000 rows, also noted. Nested subquery blocks inside
+/// selection predicates are charged once per input row when correlated —
+/// the canonical nested-loop cost — and once in total when uncorrelated.
+PlanEstimate EstimatePlan(const LogicalOp& root, const Catalog* catalog,
+                          std::vector<std::string>* notes = nullptr);
 
 /// Estimate for one input edge (negative bypass streams carry the
 /// complement cardinality).
 PlanEstimate EstimateInput(const LogicalInput& input,
                            const Catalog* catalog);
+
+/// Estimates the whole plan and returns the per-node memo (including
+/// nodes of nested subquery blocks). The planner uses it to annotate
+/// physical operators with expected cardinalities so the runtime can
+/// report per-operator q-errors.
+std::unordered_map<const LogicalOp*, PlanEstimate> EstimateAllNodes(
+    const LogicalOp& root, const Catalog* catalog);
 
 }  // namespace bypass
 

@@ -4,6 +4,7 @@
 
 #include "algebra/plan_util.h"
 #include "common/check.h"
+#include "planner/cost_model.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/group_by.h"
@@ -83,6 +84,17 @@ Result<PhysicalPlan> Planner::LowerPlan(const LogicalOpPtr& root,
   top->AddConsumer(kPortOut, sink.get(), 0);
   plan.ops.push_back(std::move(sink));
   plan.output_schema = root->schema();
+  // Annotate each physical operator with its logical node's estimated
+  // cardinality so the runtime can report per-operator q-errors.
+  const auto estimates = EstimateAllNodes(*root, catalog_);
+  for (const auto& [logical, phys] : memo) {
+    const auto it = estimates.find(logical);
+    if (it == estimates.end()) continue;
+    phys->set_estimated_rows(kPortOut, it->second.rows);
+    if (phys->num_out_ports() > 1) {
+      phys->set_estimated_rows(kPortNegative, it->second.neg_rows);
+    }
+  }
   return plan;
 }
 

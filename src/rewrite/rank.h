@@ -3,42 +3,16 @@
 // cost c, rank(p) = (s - 1) / c. Predicates are evaluated in ascending
 // rank order; this decides between Eqv. 2 (cheap simple predicate first)
 // and Eqv. 3 (unnested subquery first).
+//
+// The implementation moved into the statistics subsystem so ranks can be
+// computed against ANALYZE histograms: see stats/selectivity.h
+// (EstimateSelectivity / EstimateCost / PredicateRank) and
+// stats/stats_provider.h (StatsProvider). This header remains as the
+// rewriter-facing include point.
 #ifndef BYPASSDB_REWRITE_RANK_H_
 #define BYPASSDB_REWRITE_RANK_H_
 
-#include <string>
-
-#include "catalog/table.h"
-#include "expr/expr.h"
-
-namespace bypass {
-
-/// Optional source of per-column statistics for selectivity estimation;
-/// the cost model implements it over the catalog.
-class StatsProvider {
- public:
-  virtual ~StatsProvider() = default;
-  /// Statistics of `qualifier.name`, or nullptr when unknown. `rows`
-  /// receives the owning table's cardinality when non-null.
-  virtual const ColumnStats* GetColumnStats(const std::string& qualifier,
-                                            const std::string& name,
-                                            int64_t* rows) const = 0;
-};
-
-/// Selectivity estimation. With `stats`, equality against a literal uses
-/// 1/NDV and ranges interpolate between the column's min and max;
-/// otherwise textbook defaults apply ('=' 0.1, ranges 1/3, LIKE 0.25;
-/// conjunction multiplies, disjunction complements).
-double EstimateSelectivity(const Expr& pred,
-                           const StatsProvider* stats = nullptr);
-
-/// Per-tuple evaluation cost in abstract units; LIKE and arithmetic are
-/// charged more, nested subqueries cost `subquery_cost`.
-double EstimateCost(const Expr& pred, double subquery_cost);
-
-/// rank(p) = (selectivity - 1) / cost; lower ranks evaluate first.
-double PredicateRank(const Expr& pred, double subquery_cost);
-
-}  // namespace bypass
+#include "stats/selectivity.h"    // IWYU pragma: export
+#include "stats/stats_provider.h" // IWYU pragma: export
 
 #endif  // BYPASSDB_REWRITE_RANK_H_

@@ -1,12 +1,15 @@
 #include "rewrite/unnest.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "algebra/plan_util.h"
 #include "common/check.h"
 #include "expr/expr_util.h"
+#include "planner/cost_model.h"
 #include "rewrite/rank.h"
+#include "stats/plan_stats.h"
 
 namespace bypass {
 
@@ -436,6 +439,16 @@ Result<LogicalOpPtr> UnnestingRewriter::RewriteConjunct(
     double rank = 0;
   };
 
+  // With a catalog wired in, ranks are data-driven: selectivities come
+  // from the outer stream's base-table statistics and each nested block
+  // is charged its own estimated plan cost instead of the textbook
+  // per-tuple constant.
+  std::unique_ptr<PlanStatsProvider> stats;
+  if (options_.catalog != nullptr) {
+    stats = std::make_unique<PlanStatsProvider>(options_.catalog,
+                                                stream.op);
+  }
+
   std::vector<CascadeItem> items;
   for (const ExprPtr& d : SplitDisjuncts(conjunct)) {
     CascadeItem item;
@@ -452,7 +465,22 @@ Result<LogicalOpPtr> UnnestingRewriter::RewriteConjunct(
     } else {
       return LogicalOpPtr(nullptr);  // unsupported disjunct shape
     }
-    item.rank = PredicateRank(*d, options_.subquery_cost);
+    double sub_cost = options_.subquery_cost;
+    if (options_.catalog != nullptr && item.kind != CascadeItem::kSimple) {
+      // Average the blocks' estimated costs (almost always one block per
+      // disjunct) since EstimateCost charges `sub_cost` per occurrence.
+      double block_cost = 0;
+      int blocks = 0;
+      VisitExpr(d, [&](const ExprPtr& e) {
+        if (e->kind() != ExprKind::kSubquery) return;
+        const auto* sq = static_cast<const SubqueryExpr*>(e.get());
+        if (sq->plan() == nullptr) return;
+        block_cost += EstimatePlan(*sq->plan(), options_.catalog).cost;
+        ++blocks;
+      });
+      if (blocks > 0) sub_cost = std::max(block_cost / blocks, 1.0);
+    }
+    item.rank = PredicateRank(*d, sub_cost, stats.get());
     items.push_back(std::move(item));
   }
 

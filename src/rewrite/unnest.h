@@ -32,6 +32,8 @@
 
 namespace bypass {
 
+class Catalog;
+
 /// How a disjunct cascade orders its branches.
 enum class DisjunctOrder {
   kByRank,         ///< Slagle ranks (paper default)
@@ -48,8 +50,15 @@ struct RewriteOptions {
   DisjunctOrder disjunct_order = DisjunctOrder::kByRank;
   /// Per-tuple cost charged to a nested block in the rank model. The
   /// default keeps subqueries last (Eqv. 2) unless a simple predicate is
-  /// extremely expensive (Eqv. 3), mirroring the paper's remark.
+  /// extremely expensive (Eqv. 3), mirroring the paper's remark. Only
+  /// used when no catalog is wired in (below).
   double subquery_cost = 1000.0;
+  /// When set, disjunct ranks are computed from data: selectivities from
+  /// the referenced tables' statistics (ANALYZE histograms when present,
+  /// lazy min/max/NDV otherwise) and nested-block costs from the blocks'
+  /// estimated plans — so the Eqv. 2 vs Eqv. 3 choice reacts to the
+  /// actual data distribution instead of textbook constants.
+  const Catalog* catalog = nullptr;
   /// Fixpoint bound (linear queries need one pass per nesting level).
   int max_passes = 16;
 };

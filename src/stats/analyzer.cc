@@ -1,0 +1,67 @@
+#include "stats/analyzer.h"
+
+#include <utility>
+#include <vector>
+
+#include "stats/hyperloglog.h"
+
+namespace bypass {
+
+TableStatistics AnalyzeTable(const Table& table,
+                             const AnalyzeOptions& options) {
+  const int num_columns = table.schema().num_columns();
+  TableStatistics stats;
+  stats.row_count = table.num_rows();
+  stats.columns.resize(static_cast<size_t>(num_columns));
+
+  std::vector<HyperLogLog> sketches(
+      static_cast<size_t>(num_columns),
+      HyperLogLog(options.hll_precision));
+  std::vector<std::vector<double>> numeric_values(
+      static_cast<size_t>(num_columns));
+  std::vector<bool> numeric(static_cast<size_t>(num_columns));
+  for (int c = 0; c < num_columns; ++c) {
+    const DataType type = table.schema().column(c).type;
+    numeric[static_cast<size_t>(c)] =
+        type == DataType::kInt64 || type == DataType::kDouble;
+    if (numeric[static_cast<size_t>(c)]) {
+      numeric_values[static_cast<size_t>(c)].reserve(table.rows().size());
+    }
+  }
+
+  for (const Row& row : table.rows()) {
+    for (size_t c = 0; c < static_cast<size_t>(num_columns); ++c) {
+      const Value& v = row[c];
+      ColumnStatistics& col = stats.columns[c];
+      if (v.is_null()) {
+        ++col.null_count;
+        continue;
+      }
+      sketches[c].Add(static_cast<uint64_t>(v.Hash()));
+      if (col.min.is_null()) {
+        col.min = v;
+        col.max = v;
+      } else {
+        if (v.OrderCompare(col.min) < 0) col.min = v;
+        if (v.OrderCompare(col.max) > 0) col.max = v;
+      }
+      // Loaded rows may carry int64 payloads in double columns (and vice
+      // versa), so histogram eligibility follows the value, not only the
+      // declared type.
+      if (numeric[c] && v.is_numeric()) {
+        numeric_values[c].push_back(v.AsDouble());
+      }
+    }
+  }
+
+  for (size_t c = 0; c < static_cast<size_t>(num_columns); ++c) {
+    stats.columns[c].distinct_count = sketches[c].Estimate();
+    if (!numeric_values[c].empty()) {
+      stats.columns[c].histogram = EquiDepthHistogram::Build(
+          std::move(numeric_values[c]), options.histogram_buckets);
+    }
+  }
+  return stats;
+}
+
+}  // namespace bypass

@@ -1,0 +1,27 @@
+// ANALYZE implementation: builds TableStatistics in one streaming pass
+// over the table's rows (all columns simultaneously), then sorts each
+// numeric column's collected values once to slice the equi-depth
+// histogram.
+#ifndef BYPASSDB_STATS_ANALYZER_H_
+#define BYPASSDB_STATS_ANALYZER_H_
+
+#include "catalog/table.h"
+#include "stats/column_stats.h"
+
+namespace bypass {
+
+struct AnalyzeOptions {
+  /// Histogram resolution per numeric column.
+  int histogram_buckets = 64;
+  /// HyperLogLog precision (2^p registers per column).
+  int hll_precision = 12;
+};
+
+/// Computes full statistics for `table`. Read-only over the table; the
+/// caller stores the result in the Catalog (Database::Analyze does both).
+TableStatistics AnalyzeTable(const Table& table,
+                             const AnalyzeOptions& options = {});
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_ANALYZER_H_

@@ -1,0 +1,52 @@
+// ANALYZE-built statistics: the rich per-column/per-table summaries the
+// planner consumes. Distinct from catalog/table.h's lazy ColumnStats,
+// which remains the no-ANALYZE fallback; these add HyperLogLog distinct
+// counts and equi-depth histograms and are stored in the Catalog with an
+// epoch so prepared plans can detect staleness.
+#ifndef BYPASSDB_STATS_COLUMN_STATS_H_
+#define BYPASSDB_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace bypass {
+
+struct ColumnStatistics {
+  int64_t null_count = 0;
+  Value min;  ///< NULL when the column is all-NULL or the table empty
+  Value max;
+  /// HyperLogLog estimate of the number of distinct non-NULL values.
+  int64_t distinct_count = 0;
+  /// Equi-depth histogram over non-NULL values; empty for non-numeric
+  /// columns.
+  EquiDepthHistogram histogram;
+
+  /// NULL fraction relative to `rows` (0 for an empty table).
+  double NullFraction(int64_t rows) const {
+    return rows > 0
+               ? static_cast<double>(null_count) / static_cast<double>(rows)
+               : 0.0;
+  }
+};
+
+struct TableStatistics {
+  /// Table cardinality at ANALYZE time; refreshed in place by runtime
+  /// cardinality feedback when the table drifts.
+  int64_t row_count = 0;
+  /// One entry per schema column, in schema order.
+  std::vector<ColumnStatistics> columns;
+
+  /// Short human-readable summary ("1000 rows, 4 columns analyzed").
+  std::string ToString() const {
+    return std::to_string(row_count) + " rows, " +
+           std::to_string(columns.size()) + " columns analyzed";
+  }
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_COLUMN_STATS_H_

@@ -1,0 +1,37 @@
+#include "stats/feedback.h"
+
+namespace bypass {
+
+std::vector<OperatorFeedback> CollectOperatorFeedback(
+    const PhysicalPlan& plan) {
+  std::vector<OperatorFeedback> feedback;
+  feedback.reserve(plan.ops.size());
+  for (const PhysOpPtr& op : plan.ops) {
+    OperatorFeedback f;
+    f.label = op->Label();
+    f.estimated = op->estimated_rows(kPortOut);
+    f.actual = op->rows_emitted(kPortOut);
+    if (f.estimated >= 0) {
+      f.q_error = QError(f.estimated, static_cast<double>(f.actual));
+    }
+    feedback.push_back(std::move(f));
+  }
+  return feedback;
+}
+
+int ApplyCardinalityFeedback(const PhysicalPlan& plan, Catalog* catalog) {
+  int refreshed = 0;
+  for (const TableScanOp* source : plan.sources) {
+    const auto stats = catalog->GetTableStatistics(source->table_name());
+    if (stats == nullptr) continue;  // never analyzed: nothing to refresh
+    const int64_t actual = source->rows_emitted(kPortOut);
+    if (stats->row_count == actual) continue;
+    TableStatistics updated = *stats;
+    updated.row_count = actual;
+    catalog->SetTableStatistics(source->table_name(), std::move(updated));
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+}  // namespace bypass

@@ -1,0 +1,46 @@
+// Runtime cardinality feedback: after a query executes, the actual
+// per-operator row counts are compared against the planner's annotated
+// estimates (q-error), and actual base-table cardinalities can be written
+// back to the catalog to refresh stale ANALYZE row counts — which bumps
+// the statistics epoch and transparently re-plans prepared queries.
+#ifndef BYPASSDB_STATS_FEEDBACK_H_
+#define BYPASSDB_STATS_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+
+namespace bypass {
+
+/// The standard estimation-quality metric, symmetric and >= 1; the +1
+/// smoothing keeps empty streams finite.
+inline double QError(double estimated, double actual) {
+  const double e = estimated + 1.0;
+  const double a = actual + 1.0;
+  return e > a ? e / a : a / e;
+}
+
+/// One operator's estimate-vs-actual comparison (positive stream).
+struct OperatorFeedback {
+  std::string label;
+  double estimated = -1;  ///< negative: the planner attached no estimate
+  int64_t actual = 0;
+  double q_error = 1.0;   ///< 1.0 when no estimate was attached
+};
+
+/// Estimate-vs-actual for every operator of the executed plan, in plan
+/// order. Operators without an annotation report q_error 1.0.
+std::vector<OperatorFeedback> CollectOperatorFeedback(
+    const PhysicalPlan& plan);
+
+/// Refreshes the catalog's ANALYZE row counts from the actual scan
+/// cardinalities of the executed plan. Only tables that have statistics
+/// and whose recorded row count drifted are touched (each touch bumps the
+/// statistics epoch). Returns the number of tables refreshed.
+int ApplyCardinalityFeedback(const PhysicalPlan& plan, Catalog* catalog);
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_FEEDBACK_H_

@@ -1,0 +1,70 @@
+#include "stats/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bypass {
+
+namespace {
+
+/// Bias-correction constant alpha_m for m registers (Flajolet et al.).
+double AlphaM(size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  BYPASS_CHECK_MSG(precision >= 4 && precision <= 16,
+                   "HyperLogLog precision out of [4, 16]");
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::Add(uint64_t hash) {
+  hash = MixHash(hash);
+  const uint64_t index = hash >> (64 - precision_);
+  // Rank of the remaining bits: position of the leftmost 1, counted from
+  // 1. The `| 1` guard keeps clz defined when the suffix is all zeros.
+  const uint64_t suffix = (hash << precision_) | 1;
+  const uint8_t rank = static_cast<uint8_t>(__builtin_clzll(suffix) + 1);
+  uint8_t& reg = registers_[static_cast<size_t>(index)];
+  reg = std::max(reg, rank);
+}
+
+int64_t HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inverse_sum = 0;
+  size_t zero_registers = 0;
+  for (const uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -reg);
+    if (reg == 0) ++zero_registers;
+  }
+  double estimate = AlphaM(registers_.size()) * m * m / inverse_sum;
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is below the 2.5m threshold.
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return static_cast<int64_t>(std::llround(estimate));
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  BYPASS_CHECK_MSG(precision_ == other.precision_,
+                   "merging HyperLogLog sketches of different precision");
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace bypass

@@ -1,0 +1,48 @@
+// HyperLogLog distinct-count sketch (Flajolet et al. 2007) used by
+// ANALYZE: one byte per register, mergeable across table chunks, and
+// accurate to ~1.04/sqrt(2^precision) relative error. Small cardinality
+// ranges fall back to linear counting, which makes the estimate exact
+// enough for the catalog's selectivity math at our table sizes.
+#ifndef BYPASSDB_STATS_HYPERLOGLOG_H_
+#define BYPASSDB_STATS_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bypass {
+
+class HyperLogLog {
+ public:
+  /// `precision` p selects 2^p registers (4 ≤ p ≤ 16). The default 12
+  /// (4 KiB) gives ~1.6 % standard error.
+  explicit HyperLogLog(int precision = 12);
+
+  /// Observes one already-hashed value. Callers should feed well-mixed
+  /// 64-bit hashes; MixHash below upgrades weak std::hash outputs.
+  void Add(uint64_t hash);
+
+  /// Cardinality estimate with small-range (linear counting) correction.
+  int64_t Estimate() const;
+
+  /// Register-wise max merge; both sketches must share the precision.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+
+  /// 64-bit finalizer (splitmix64) applied over possibly low-entropy
+  /// hashes before they hit the registers.
+  static uint64_t MixHash(uint64_t h) {
+    h += 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  }
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_HYPERLOGLOG_H_

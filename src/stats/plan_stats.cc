@@ -1,0 +1,58 @@
+#include "stats/plan_stats.h"
+
+#include "algebra/plan_util.h"
+
+namespace bypass {
+
+PlanStatsProvider::PlanStatsProvider(const Catalog* catalog,
+                                     const LogicalOpPtr& root)
+    : catalog_(catalog) {
+  if (root != nullptr) AddPlan(root);
+}
+
+void PlanStatsProvider::AddPlan(const LogicalOpPtr& root) {
+  if (catalog_ == nullptr) return;
+  VisitPlan(root, [this](const LogicalOpPtr& node) {
+    if (node->kind() != LogicalOpKind::kGet) return;
+    const auto& get = static_cast<const GetOp&>(*node);
+    auto table = catalog_->GetTable(get.table_name());
+    if (!table.ok()) return;
+    Entry entry;
+    entry.table = *table;
+    entry.analyzed = catalog_->GetTableStatistics(get.table_name());
+    aliases_.emplace(get.alias(), std::move(entry));
+  });
+}
+
+const PlanStatsProvider::Entry* PlanStatsProvider::Resolve(
+    const std::string& qualifier) const {
+  const auto it = aliases_.find(qualifier);
+  return it == aliases_.end() ? nullptr : &it->second;
+}
+
+const ColumnStats* PlanStatsProvider::GetColumnStats(
+    const std::string& qualifier, const std::string& name,
+    int64_t* rows) const {
+  const Entry* entry = Resolve(qualifier);
+  if (entry == nullptr) return nullptr;
+  auto slot = entry->table->schema().FindColumn("", name);
+  if (!slot.ok()) return nullptr;
+  *rows = entry->table->num_rows();
+  return &entry->table->stats()[static_cast<size_t>(*slot)];
+}
+
+const ColumnStatistics* PlanStatsProvider::GetColumnStatistics(
+    const std::string& qualifier, const std::string& name,
+    int64_t* rows) const {
+  const Entry* entry = Resolve(qualifier);
+  if (entry == nullptr || entry->analyzed == nullptr) return nullptr;
+  auto slot = entry->table->schema().FindColumn("", name);
+  if (!slot.ok() ||
+      static_cast<size_t>(*slot) >= entry->analyzed->columns.size()) {
+    return nullptr;
+  }
+  *rows = entry->analyzed->row_count;
+  return &entry->analyzed->columns[static_cast<size_t>(*slot)];
+}
+
+}  // namespace bypass

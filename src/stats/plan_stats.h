@@ -1,0 +1,49 @@
+// PlanStatsProvider: resolves column qualifiers through the base-table
+// aliases referenced by a logical plan, serving ANALYZE statistics from
+// the Catalog when present and the tables' lazy statistics otherwise.
+// Used by the unnesting rewriter to rank bypass-cascade disjuncts on
+// data, and by tests as the straightforward provider over one plan.
+#ifndef BYPASSDB_STATS_PLAN_STATS_H_
+#define BYPASSDB_STATS_PLAN_STATS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "algebra/logical_op.h"
+#include "catalog/catalog.h"
+#include "stats/stats_provider.h"
+
+namespace bypass {
+
+class PlanStatsProvider : public StatsProvider {
+ public:
+  /// Registers every base-table alias reachable from `root` (not
+  /// descending into nested subquery blocks — their aliases shadow ours).
+  PlanStatsProvider(const Catalog* catalog, const LogicalOpPtr& root);
+
+  /// Registers further aliases from another plan fragment.
+  void AddPlan(const LogicalOpPtr& root);
+
+  const ColumnStats* GetColumnStats(const std::string& qualifier,
+                                    const std::string& name,
+                                    int64_t* rows) const override;
+
+  const ColumnStatistics* GetColumnStatistics(
+      const std::string& qualifier, const std::string& name,
+      int64_t* rows) const override;
+
+ private:
+  struct Entry {
+    const Table* table = nullptr;
+    std::shared_ptr<const TableStatistics> analyzed;  ///< may be null
+  };
+  const Entry* Resolve(const std::string& qualifier) const;
+
+  const Catalog* catalog_;
+  std::unordered_map<std::string, Entry> aliases_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_PLAN_STATS_H_

@@ -1,0 +1,44 @@
+// StatsProvider: the estimator's view onto column statistics, decoupled
+// from where they live. Two tiers: GetColumnStats serves the lazy
+// min/max/NDV summaries every in-memory table can produce on demand;
+// GetColumnStatistics serves the rich ANALYZE-built statistics
+// (HyperLogLog distinct counts, equi-depth histograms) stored in the
+// Catalog. Estimators prefer the rich tier and fall back tier by tier to
+// textbook constants.
+#ifndef BYPASSDB_STATS_STATS_PROVIDER_H_
+#define BYPASSDB_STATS_STATS_PROVIDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/table.h"
+#include "stats/column_stats.h"
+
+namespace bypass {
+
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+
+  /// Lazy statistics of `qualifier.name`, or nullptr when unknown.
+  /// `rows` receives the owning table's cardinality when non-null.
+  virtual const ColumnStats* GetColumnStats(const std::string& qualifier,
+                                            const std::string& name,
+                                            int64_t* rows) const = 0;
+
+  /// ANALYZE-built statistics for the same column, or nullptr when the
+  /// table was never analyzed (callers then fall back to the lazy tier).
+  /// `rows` receives the row count the statistics were built against.
+  virtual const ColumnStatistics* GetColumnStatistics(
+      const std::string& qualifier, const std::string& name,
+      int64_t* rows) const {
+    (void)qualifier;
+    (void)name;
+    (void)rows;
+    return nullptr;
+  }
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_STATS_STATS_PROVIDER_H_
