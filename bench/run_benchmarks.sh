@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
-# PR benchmark suite: runs the selection microbenchmarks and the Q2d
-# end-to-end harness (median-of-5 each), plus a thread-scaling curve for
-# the morsel-parallel executor and the statistics-subsystem sweep
-# (cost-based pick accuracy across disjunct skews, ANALYZE overhead,
-# post-ANALYZE q-error), and writes BENCH_PR3.json.
+# PR benchmark suite: runs the selection microbenchmarks, the hash
+# operator microbenchmarks (flat vs node-based tables, probe match-rate
+# sweep), and the Q2d end-to-end harness (median-of-5 each), plus a
+# thread-scaling curve for the morsel-parallel executor and the
+# statistics-subsystem sweep (cost-based pick accuracy across disjunct
+# skews, ANALYZE overhead, post-ANALYZE q-error), and writes
+# BENCH_PR4.json. Prior PR reports (BENCH_PR1..3.json) are never
+# overwritten: each PR writes its own file so the history stays
+# comparable side by side.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR3.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR4.json)
+#
+# Every report embeds environment metadata — host CPU count plus the
+# compiler and flags captured in <build-dir>/build_info.json at configure
+# time — because absolute numbers only compare within one environment.
 #
 # Seed baselines were measured on the same machine at the seed commit
 # (634af06, row-at-a-time execution) with the identical protocol:
@@ -18,12 +26,14 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR3.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR4.json}
 OPS=${BUILD_DIR}/bench/bench_operators
+HASH=${BUILD_DIR}/bench/bench_hash
 Q2D=${BUILD_DIR}/bench/bench_q2d
 STATS=${BUILD_DIR}/bench/bench_stats
+BUILD_INFO=${BUILD_DIR}/build_info.json
 
-[[ -x ${OPS} && -x ${Q2D} && -x ${STATS} ]] || {
+[[ -x ${OPS} && -x ${HASH} && -x ${Q2D} && -x ${STATS} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -33,6 +43,12 @@ OPS_JSON=$(mktemp)
 "${OPS}" --benchmark_filter='PlainSelection|BypassSelection' \
   --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
   --benchmark_format=json 2>/dev/null >"${OPS_JSON}"
+
+echo "== bench_hash (median of 5 repetitions) =="
+HASH_JSON=$(mktemp)
+"${HASH}" --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json 2>/dev/null >"${HASH_JSON}"
 
 echo "== bench_q2d --quick (5 runs) =="
 Q2D_TXT=$(mktemp)
@@ -56,12 +72,13 @@ STATS_JSON=$(mktemp)
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
-  "${STATS_JSON}" <<'EOF'
+  "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" <<'EOF'
 import json
 import statistics
 import sys
 
-ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json = sys.argv[1:7]
+(ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json, hash_json,
+ build_info) = sys.argv[1:9]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -71,11 +88,60 @@ SEED = {
             "canonical": 14.0, "unnested": 7.0},
 }
 
-report = {"benchmark": "BENCH_PR3", "protocol": "median-of-5",
+env_meta = {"host_cpus": int(nproc)}
+try:
+    with open(build_info) as f:
+        env_meta.update(json.load(f))
+except (OSError, json.JSONDecodeError):
+    # Pre-refresh build dir: metadata appears after the next cmake run.
+    env_meta["compiler"] = "unknown (re-run cmake for build_info.json)"
+
+report = {"benchmark": "BENCH_PR4", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
+          "environment": env_meta,
           "operators": {}, "bypass_select_thread_scaling": {},
-          "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
-          "stats_subsystem": {}}
+          "hash_tables": {}, "q2d_quick_sf0.01": {},
+          "q2d_thread_scaling": {}, "stats_subsystem": {}}
+
+# Hash microbenchmarks: flat structures vs in-binary replicas of the
+# node-based PR 3 tables, same data and flags, so each pair's ratio is
+# the honest structural speedup. Probe pairs sweep the match rate.
+hash_medians = {}
+with open(hash_json) as f:
+    for b in json.load(f)["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        ms = b["real_time"] / 1e6
+        items_per_sec = b.get("items_per_second")
+        hash_medians[b["run_name"]] = {
+            "median_ms": round(ms, 3),
+            "rows_per_sec": round(items_per_sec) if items_per_sec else None,
+        }
+
+def hash_pair(flat, unordered):
+    f, u = hash_medians.get(flat), hash_medians.get(unordered)
+    entry = {"flat": f, "unordered": u}
+    if f and u:
+        entry["speedup_flat_vs_unordered"] = round(
+            u["median_ms"] / f["median_ms"], 2)
+    return entry
+
+report["hash_tables"]["join_build"] = hash_pair(
+    "BM_JoinBuildFlat", "BM_JoinBuildUnordered")
+report["hash_tables"]["group_upsert"] = hash_pair(
+    "BM_GroupUpsertFlat", "BM_GroupUpsertUnordered")
+sweep = {}
+for pct in (1, 5, 10, 25, 50, 75, 100):
+    entry = hash_pair(f"BM_JoinProbeFlat/{pct}",
+                      f"BM_JoinProbeUnordered/{pct}")
+    batch = hash_medians.get(f"BM_JoinProbeBatchFlat/{pct}")
+    if batch:
+        entry["flat_batch"] = batch
+        if entry.get("unordered"):
+            entry["speedup_batch_vs_unordered"] = round(
+                entry["unordered"]["median_ms"] / batch["median_ms"], 2)
+    sweep[f"match_{pct}pct"] = entry
+report["hash_tables"]["join_probe_match_rate_sweep"] = sweep
 
 # The statistics sweep emits its JSON directly (pick accuracy per
 # policy, per-skew timings, ANALYZE overhead, post-ANALYZE q-error).
@@ -143,4 +209,5 @@ print(json.dumps(report, indent=2))
 print(f"\nwrote {out_path}")
 EOF
 
-rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}"
+rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}" \
+  "${HASH_JSON}"

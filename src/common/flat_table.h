@@ -1,0 +1,413 @@
+// Flat open-addressing hash containers shared by every hash operator in
+// the engine (joins, grouping, DISTINCT, subplan memo caches). Replaces
+// the node-based std::unordered_map<Row, ...> tables whose per-entry
+// allocations and pointer-chasing dominated the probe-side profiles
+// (BENCH_PR1: unnested q2d at 1.17× vs seed while scalar operators hit
+// ~2×).
+//
+// Layout (DESIGN.md §7): a contiguous power-of-two slot array of
+// {cached 64-bit hash, dense entry index} pairs probed linearly, plus
+// dense side arrays holding the owned keys/values in insertion order.
+// Rehashing redistributes the slot array from the cached hashes alone —
+// keys are never re-hashed or moved — and nothing here supports erase, so
+// there are no tombstones (operators only ever clear whole tables).
+//
+// Fixed-width fast path: a table whose keys are single-column int64 (the
+// dominant shape — every RST/TPC-H join and group key) stores the raw
+// int64 beside each entry and hashes it with a splitmix64 finalizer,
+// skipping Value-vector hashing entirely. The mode is chosen from the
+// first inserted key and transparently downgraded (one rebuild) if a key
+// of another shape ever arrives. Because int64 and double Values compare
+// structurally equal when numerically equal (1 == 1.0), probes convert
+// exactly-representable doubles to int64 before hashing; probes that
+// cannot equal any int64 key (strings, bools, fractional doubles) miss
+// without touching the table.
+#ifndef BYPASSDB_COMMON_FLAT_TABLE_H_
+#define BYPASSDB_COMMON_FLAT_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "types/row.h"
+
+namespace bypass {
+
+namespace flat_internal {
+
+/// splitmix64 finalizer: full-avalanche mix of a raw int64 key.
+inline uint64_t HashInt64Key(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key);
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Hash reserved for NULL keys in int64 mode (NULL == NULL structurally).
+inline constexpr uint64_t kNullKeyHash = 0x7b4a5c8d9e2f1a6bULL;
+
+/// Converts `v` to its int64 key representation when it can structurally
+/// equal an int64 (int64 itself, or a double exactly representable as
+/// int64). Returns false for values that can never equal an int64 key;
+/// `*is_null` is set for NULL (which participates in structural keys).
+inline bool Int64KeyOf(const Value& v, int64_t* key, bool* is_null) {
+  *is_null = false;
+  if (v.is_int64()) {
+    *key = v.int64_value();
+    return true;
+  }
+  if (v.is_null()) {
+    *is_null = true;
+    *key = 0;
+    return true;
+  }
+  if (v.is_double()) {
+    const double d = v.double_value();
+    // Guard the cast: int64 range is [-2^63, 2^63); 2^63 itself is not
+    // representable, so compare against the exact double bounds.
+    if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+      const int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        *key = i;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Smallest power of two >= max(16, needed).
+inline size_t NextPow2Capacity(size_t needed) {
+  size_t cap = 16;
+  while (cap < needed) cap <<= 1;
+  return cap;
+}
+
+}  // namespace flat_internal
+
+/// Flat hash map from owned Row keys (structural semantics, NULL == NULL)
+/// to values. Find-or-insert probes accept a transparent RowSlotsRef so
+/// the key row is only materialized for genuinely new entries, matching
+/// the RowKeyHash/RowKeyEq contract of the previous unordered_map tables.
+/// Iteration (entries()) is dense and in insertion order, which makes
+/// downstream emission deterministic. Not thread-safe.
+template <typename V>
+class FlatRowMap {
+ public:
+  struct Entry {
+    Row key;
+    V value;
+  };
+
+  FlatRowMap() = default;
+  FlatRowMap(FlatRowMap&&) noexcept = default;
+  FlatRowMap& operator=(FlatRowMap&&) noexcept = default;
+  FlatRowMap(const FlatRowMap&) = delete;
+  FlatRowMap& operator=(const FlatRowMap&) = delete;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  void Clear() {
+    entries_.clear();
+    hashes_.clear();
+    i64_.clear();
+    slots_.clear();
+    mask_ = 0;
+    mode_ = Mode::kUnset;
+  }
+
+  /// Pre-sizes the slot array for `n` entries (one rehash at most).
+  void Reserve(size_t n) {
+    entries_.reserve(n);
+    hashes_.reserve(n);
+    const size_t cap = flat_internal::NextPow2Capacity(n + n / 2 + 1);
+    if (cap > slots_.size()) Rebuild(cap);
+  }
+
+  /// Entries in insertion order.
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Mutable entries, for moving keys/values out during a merge; callers
+  /// must Clear() the map afterwards (the index still references them).
+  std::vector<Entry>& mutable_entries() { return entries_; }
+
+  V* Find(const Row& key) { return FindImpl(key); }
+  const V* Find(const Row& key) const {
+    return const_cast<FlatRowMap*>(this)->FindImpl(key);
+  }
+  V* Find(const RowSlotsRef& ref) { return FindImpl(ref); }
+  const V* Find(const RowSlotsRef& ref) const {
+    return const_cast<FlatRowMap*>(this)->FindImpl(ref);
+  }
+
+  /// Returns the value for the key addressed by `ref`, inserting
+  /// `make()` under the materialized (projected) key when absent.
+  template <typename Make>
+  V& FindOrEmplace(const RowSlotsRef& ref, Make&& make) {
+    return FindOrEmplaceImpl(
+        ref, [&] { return ProjectRow(*ref.row, *ref.slots); },
+        std::forward<Make>(make));
+  }
+
+  /// Find-or-insert with an owned key (moved in only when absent).
+  template <typename Make>
+  V& FindOrEmplace(Row&& key, Make&& make) {
+    return FindOrEmplaceImpl(
+        key, [&] { return std::move(key); }, std::forward<Make>(make));
+  }
+
+  /// Unconditional insert of a key known to be absent (merge paths).
+  void EmplaceNew(Row&& key, V&& value) {
+    PrepareForInsert(key);
+    ProbeKey p = ProbeFor(key);
+    if (!p.compatible) {
+      Downgrade();
+      p = ProbeFor(key);
+    }
+    InsertEntry(p, std::move(key), std::move(value));
+  }
+
+ private:
+  enum class Mode { kUnset, kInt64, kGeneric };
+
+  struct Slot {
+    uint64_t hash;
+    uint32_t idx;
+  };
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  /// Entry-side int64 key cache (int64 mode only).
+  struct I64Key {
+    int64_t key;
+    bool null;
+  };
+
+  /// A fully resolved probe: hash plus the int64 view when applicable.
+  struct ProbeKey {
+    uint64_t hash = 0;
+    int64_t i64 = 0;
+    bool null = false;
+    /// False when the probe's shape cannot live in the current mode
+    /// (int64 mode and a multi-column / non-convertible key).
+    bool compatible = true;
+    /// True when, additionally, an incompatible probe could never equal
+    /// any stored key (pure lookup can miss without downgrade).
+    bool never_matches = false;
+  };
+
+  ProbeKey ProbeFor(const Row& key) const {
+    ProbeKey p;
+    if (mode_ == Mode::kInt64) {
+      if (key.size() != 1 ||
+          !flat_internal::Int64KeyOf(key[0], &p.i64, &p.null)) {
+        p.compatible = false;
+        p.never_matches = true;  // cannot equal any single int64/NULL key
+        return p;
+      }
+      p.hash = p.null ? flat_internal::kNullKeyHash
+                      : flat_internal::HashInt64Key(p.i64);
+      return p;
+    }
+    p.hash = HashRow(key);
+    return p;
+  }
+
+  ProbeKey ProbeFor(const RowSlotsRef& ref) const {
+    ProbeKey p;
+    if (mode_ == Mode::kInt64) {
+      if (ref.slots->size() != 1 ||
+          !flat_internal::Int64KeyOf(
+              (*ref.row)[static_cast<size_t>((*ref.slots)[0])], &p.i64,
+              &p.null)) {
+        p.compatible = false;
+        p.never_matches = true;
+        return p;
+      }
+      p.hash = p.null ? flat_internal::kNullKeyHash
+                      : flat_internal::HashInt64Key(p.i64);
+      return p;
+    }
+    p.hash = HashRowSlots(*ref.row, *ref.slots);
+    return p;
+  }
+
+  bool EntryEquals(uint32_t idx, const ProbeKey& p, const Row& key) const {
+    if (mode_ == Mode::kInt64) {
+      const I64Key& e = i64_[idx];
+      return e.null == p.null && (p.null || e.key == p.i64);
+    }
+    return RowsStructurallyEqual(entries_[idx].key, key);
+  }
+
+  bool EntryEquals(uint32_t idx, const ProbeKey& p,
+                   const RowSlotsRef& ref) const {
+    if (mode_ == Mode::kInt64) {
+      const I64Key& e = i64_[idx];
+      return e.null == p.null && (p.null || e.key == p.i64);
+    }
+    return RowKeyEq{}(ref, entries_[idx].key);
+  }
+
+  template <typename K>
+  V* FindImpl(const K& key) {
+    if (entries_.empty()) return nullptr;
+    const ProbeKey p = ProbeFor(key);
+    if (p.never_matches) return nullptr;
+    size_t pos = p.hash & mask_;
+    while (true) {
+      const Slot& s = slots_[pos];
+      if (s.idx == kEmpty) return nullptr;
+      if (s.hash == p.hash && EntryEquals(s.idx, p, key)) {
+        return &entries_[s.idx].value;
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  /// Lazily picks the key mode from the first key and ensures the slot
+  /// array exists; called at the top of every insert path.
+  template <typename K>
+  void PrepareForInsert(const K& key) {
+    if (entries_.empty() && mode_ == Mode::kUnset) InitModeFrom(key);
+    if (slots_.empty()) Rebuild(16);
+  }
+
+  template <typename K, typename MakeKey, typename MakeValue>
+  V& FindOrEmplaceImpl(const K& key, MakeKey&& make_key,
+                       MakeValue&& make_value) {
+    PrepareForInsert(key);
+    ProbeKey p = ProbeFor(key);
+    if (!p.compatible) {
+      // A key of a new shape forces the generic representation; the
+      // rebuild re-hashes every stored entry once.
+      Downgrade();
+      p = ProbeFor(key);
+    }
+    size_t pos = p.hash & mask_;
+    while (true) {
+      const Slot& s = slots_[pos];
+      if (s.idx == kEmpty) break;
+      if (s.hash == p.hash && EntryEquals(s.idx, p, key)) {
+        return entries_[s.idx].value;
+      }
+      pos = (pos + 1) & mask_;
+    }
+    return InsertEntry(p, make_key(), make_value());
+  }
+
+  V& InsertEntry(const ProbeKey& p, Row&& key, V&& value) {
+    // In int64 mode an owned key may still be incompatible when coming
+    // through EmplaceNew; callers downgraded already, so p.compatible
+    // holds here.
+    const uint32_t idx = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{std::move(key), std::move(value)});
+    hashes_.push_back(p.hash);
+    if (mode_ == Mode::kInt64) i64_.push_back(I64Key{p.i64, p.null});
+    // Grow at 7/8 load *before* placing, so placement never splits.
+    if ((entries_.size() + 1) * 8 > slots_.size() * 7) {
+      Rebuild(slots_.size() * 2);
+    } else {
+      Place(p.hash, idx);
+    }
+    return entries_.back().value;
+  }
+
+  void InitModeFrom(const Row& key) {
+    int64_t k;
+    bool is_null;
+    mode_ = (key.size() == 1 &&
+             flat_internal::Int64KeyOf(key[0], &k, &is_null))
+                ? Mode::kInt64
+                : Mode::kGeneric;
+  }
+  void InitModeFrom(const RowSlotsRef& ref) {
+    int64_t k;
+    bool is_null;
+    mode_ = (ref.slots->size() == 1 &&
+             flat_internal::Int64KeyOf(
+                 (*ref.row)[static_cast<size_t>((*ref.slots)[0])], &k,
+                 &is_null))
+                ? Mode::kInt64
+                : Mode::kGeneric;
+  }
+
+  void Place(uint64_t hash, uint32_t idx) {
+    size_t pos = hash & mask_;
+    while (slots_[pos].idx != kEmpty) pos = (pos + 1) & mask_;
+    slots_[pos] = Slot{hash, idx};
+  }
+
+  /// Rebuilds the slot array at `capacity` from the cached hashes.
+  void Rebuild(size_t capacity) {
+    slots_.assign(capacity, Slot{0, kEmpty});
+    mask_ = capacity - 1;
+    for (uint32_t i = 0; i < entries_.size(); ++i) {
+      Place(hashes_[i], i);
+    }
+  }
+
+  /// Switches an int64-mode table to generic hashing (re-hashes every
+  /// entry once); triggered by the first key of a different shape.
+  void Downgrade() {
+    if (mode_ != Mode::kInt64) {
+      if (mode_ == Mode::kUnset) mode_ = Mode::kGeneric;
+      return;
+    }
+    mode_ = Mode::kGeneric;
+    i64_.clear();
+    i64_.shrink_to_fit();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      hashes_[i] = HashRow(entries_[i].key);
+    }
+    Rebuild(slots_.empty() ? 16 : slots_.size());
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint64_t> hashes_;  // cached per-entry hash (rehash fuel)
+  std::vector<I64Key> i64_;       // int64 mode only, aligned with entries_
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  Mode mode_ = Mode::kUnset;
+};
+
+/// Flat hash set of Rows (structural semantics). Insert copies the row
+/// only when it is new — the Distinct operator's streaming dedup — and
+/// the stored rows iterate in first-occurrence order.
+class FlatRowSet {
+ public:
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+
+  /// True when `row` was not present (and is now inserted).
+  bool Insert(const Row& row) {
+    if (map_.Find(row) != nullptr) return false;
+    map_.FindOrEmplace(Row(row), [] { return Unit{}; });
+    return true;
+  }
+
+  /// Move-in variant for callers that own the row.
+  bool Insert(Row&& row) {
+    if (map_.Find(row) != nullptr) return false;
+    map_.FindOrEmplace(std::move(row), [] { return Unit{}; });
+    return true;
+  }
+
+  bool Contains(const Row& row) const { return map_.Find(row) != nullptr; }
+
+  /// Stored rows in first-occurrence order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& e : map_.entries()) fn(e.key);
+  }
+
+ private:
+  struct Unit {};
+  FlatRowMap<Unit> map_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_COMMON_FLAT_TABLE_H_

@@ -8,7 +8,7 @@ Status DistinctPhysOp::Consume(int, RowBatch batch) {
     std::vector<uint32_t>& sel = batch.selection();
     size_t kept = 0;
     for (size_t i = 0; i < sel.size(); ++i) {
-      if (seen_.insert(batch.row(i)).second) sel[kept++] = sel[i];
+      if (seen_.Insert(batch.row(i))) sel[kept++] = sel[i];
     }
     sel.resize(kept);
   }

@@ -8,8 +8,8 @@
 
 #include <mutex>
 #include <string>
-#include <unordered_set>
 
+#include "common/flat_table.h"
 #include "exec/phys_op.h"
 
 namespace bypass {
@@ -18,13 +18,13 @@ class DistinctPhysOp : public UnaryPhysOp {
  public:
   DistinctPhysOp() = default;
 
-  void Reset() override { seen_.clear(); }
+  void Reset() override { seen_.Clear(); }
   Status Consume(int in_port, RowBatch batch) override;
   std::string Label() const override { return "Distinct"; }
 
  private:
   std::mutex mu_;
-  std::unordered_set<Row, RowHash, RowEq> seen_;
+  FlatRowSet seen_;  // rows copied in only on first occurrence
 };
 
 }  // namespace bypass

@@ -8,27 +8,27 @@ namespace bypass {
 
 namespace {
 
-/// Folds `src` into `dst`: groups absent from `dst` move over wholesale,
-/// overlapping groups are combined with AggregatorSet::Merge. Runs on the
-/// single-threaded finish path.
+/// Folds `src` into `dst`: groups absent from `dst` move over wholesale
+/// (key and accumulator, no re-aggregation), overlapping groups are
+/// combined with AggregatorSet::Merge. Runs on the single-threaded finish
+/// path; merging per-worker partials in worker order keeps the final
+/// entry order deterministic.
 template <typename GroupMap>
 Status MergeGroupMaps(GroupMap* dst, GroupMap* src) {
   if (dst->empty()) {
     *dst = std::move(*src);
-    src->clear();
+    src->Clear();
     return Status::OK();
   }
-  for (auto it = src->begin(); it != src->end();) {
-    auto next = std::next(it);
-    auto dst_it = dst->find(it->first);
-    if (dst_it == dst->end()) {
-      dst->insert(src->extract(it));
+  for (auto& entry : src->mutable_entries()) {
+    auto* existing = dst->Find(entry.key);
+    if (existing == nullptr) {
+      dst->EmplaceNew(std::move(entry.key), std::move(entry.value));
     } else {
-      BYPASS_RETURN_IF_ERROR(dst_it->second->Merge(*it->second));
+      BYPASS_RETURN_IF_ERROR((*existing)->Merge(*entry.value));
     }
-    it = next;
   }
-  src->clear();
+  src->Clear();
   return Status::OK();
 }
 
@@ -65,7 +65,7 @@ Status HashGroupByOp::Prepare(ExecContext* ctx) {
 
 void HashGroupByOp::Reset() {
   for (Partial& p : partials_) {
-    p.groups.clear();
+    p.groups.Clear();
     if (p.scalar) p.scalar->Reset();
   }
 }
@@ -80,14 +80,10 @@ Status HashGroupByOp::Consume(int, RowBatch batch) {
       BYPASS_RETURN_IF_ERROR(partial.scalar->Accumulate(ectx));
       continue;
     }
-    auto it = partial.groups.find(RowSlotsRef{&row, &key_slots_});
-    if (it == partial.groups.end()) {
-      it = partial.groups
-               .emplace(ProjectRow(row, key_slots_),
-                        std::make_unique<AggregatorSet>(&aggregates_))
-               .first;
-    }
-    BYPASS_RETURN_IF_ERROR(it->second->Accumulate(ectx));
+    auto& aggs = partial.groups.FindOrEmplace(
+        RowSlotsRef{&row, &key_slots_},
+        [&] { return std::make_unique<AggregatorSet>(&aggregates_); });
+    BYPASS_RETURN_IF_ERROR(aggs->Accumulate(ectx));
   }
   return Status::OK();
 }
@@ -110,9 +106,9 @@ Status HashGroupByOp::FinishPort(int) {
     BYPASS_RETURN_IF_ERROR(merged.scalar->FinalizeInto(&out));
     BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
   } else {
-    for (const auto& [key, aggs] : merged.groups) {
-      Row out = key;
-      BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&out));
+    for (const auto& entry : merged.groups.entries()) {
+      Row out = entry.key;
+      BYPASS_RETURN_IF_ERROR(entry.value->FinalizeInto(&out));
       BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, std::move(out)));
     }
   }
@@ -132,7 +128,7 @@ BinaryGroupByHashOp::BinaryGroupByHashOp(
 
 void BinaryGroupByHashOp::Reset() {
   BinaryPhysOp::Reset();
-  group_values_.clear();
+  group_values_.Clear();
   empty_group_values_.clear();
 }
 
@@ -143,15 +139,11 @@ Status BinaryGroupByHashOp::AccumulateRange(size_t begin, size_t end,
     const Row& row = rows[r];
     const Value& key_val = row[static_cast<size_t>(right_key_slot_)];
     if (key_val.is_null()) continue;  // SQL '=' never matches NULL
-    auto it = groups->find(RowSlotsRef{&row, &right_key_slots_});
-    if (it == groups->end()) {
-      it = groups
-               ->emplace(Row{key_val},
-                         std::make_unique<AggregatorSet>(&aggregates_))
-               .first;
-    }
+    auto& aggs = groups->FindOrEmplace(
+        RowSlotsRef{&row, &right_key_slots_},
+        [&] { return std::make_unique<AggregatorSet>(&aggregates_); });
     EvalContext ectx{&row, ctx_->outer_row()};
-    BYPASS_RETURN_IF_ERROR(it->second->Accumulate(ectx));
+    BYPASS_RETURN_IF_ERROR(aggs->Accumulate(ectx));
   }
   return Status::OK();
 }
@@ -183,11 +175,12 @@ Status BinaryGroupByHashOp::BuildFromRight() {
     BYPASS_RETURN_IF_ERROR(AccumulateRange(0, n, &groups));
   }
   // Phase 2: finalize into value rows probed per left tuple.
-  group_values_.clear();
-  for (const auto& [key, aggs] : groups) {
+  group_values_.Clear();
+  group_values_.Reserve(groups.size());
+  for (auto& entry : groups.mutable_entries()) {
     Row vals;
-    BYPASS_RETURN_IF_ERROR(aggs->FinalizeInto(&vals));
-    group_values_.emplace(key, std::move(vals));
+    BYPASS_RETURN_IF_ERROR(entry.value->FinalizeInto(&vals));
+    group_values_.EmplaceNew(std::move(entry.key), std::move(vals));
   }
   // f(∅) for empty groups.
   empty_group_values_.clear();
@@ -201,8 +194,9 @@ Status BinaryGroupByHashOp::ProcessLeft(Row row) {
   const Value& key_val = row[static_cast<size_t>(left_key_slot_)];
   const Row* vals = &empty_group_values_;
   if (!key_val.is_null()) {
-    const auto it = group_values_.find(RowSlotsRef{&row, &left_key_slots_});
-    if (it != group_values_.end()) vals = &it->second;
+    const Row* found =
+        group_values_.Find(RowSlotsRef{&row, &left_key_slots_});
+    if (found != nullptr) vals = found;
   }
   for (const Value& v : *vals) row.push_back(v);
   return EmitRow(kPortOut, std::move(row));

@@ -13,9 +13,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "exec/phys_op.h"
 #include "expr/agg.h"
 #include "expr/expr.h"
@@ -38,10 +38,10 @@ class HashGroupByOp : public UnaryPhysOp {
   }
 
  private:
-  // RowKeyHash/RowKeyEq are transparent: group lookup probes with a
-  // RowSlotsRef over the input row, so only new groups project a key row.
-  using GroupMap = std::unordered_map<Row, std::unique_ptr<AggregatorSet>,
-                                      RowKeyHash, RowKeyEq>;
+  // Flat table with transparent probes: group lookup hashes a
+  // RowSlotsRef over the input row, so only new groups project a key row
+  // (single-column int64 keys skip Value hashing entirely).
+  using GroupMap = FlatRowMap<std::unique_ptr<AggregatorSet>>;
 
   /// One worker's partial aggregation state, padded to its own cache line.
   struct alignas(64) Partial {
@@ -72,8 +72,7 @@ class BinaryGroupByHashOp : public BinaryPhysOp {
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
-  using GroupMap = std::unordered_map<Row, std::unique_ptr<AggregatorSet>,
-                                      RowKeyHash, RowKeyEq>;
+  using GroupMap = FlatRowMap<std::unique_ptr<AggregatorSet>>;
 
   Status AccumulateRange(size_t begin, size_t end, GroupMap* groups) const;
 
@@ -83,7 +82,7 @@ class BinaryGroupByHashOp : public BinaryPhysOp {
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   std::vector<AggregateSpec> aggregates_;
-  std::unordered_map<Row, Row, RowKeyHash, RowKeyEq> group_values_;
+  FlatRowMap<Row> group_values_;
   Row empty_group_values_;
 };
 

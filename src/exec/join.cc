@@ -1,6 +1,7 @@
 #include "exec/join.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
@@ -15,71 +16,259 @@ bool AnyNull(const Row& row, const std::vector<int>& slots) {
   return false;
 }
 
+/// Rows at or above which the hashing pass is parallelized.
+constexpr size_t kParallelBuildThreshold = 4096;
+
+/// Probe-ahead distance for the batched probe's software prefetch: far
+/// enough to cover one memory round-trip, close enough to stay in the
+/// batch's working window.
+constexpr size_t kPrefetchDistance = 8;
+
 }  // namespace
 
-void JoinHashTable::Clear() { map_.clear(); }
+void JoinHashTable::Clear() {
+  slots_.clear();
+  mask_ = 0;
+  key_repr_.clear();
+  key_int64_.clear();
+  offsets_.clear();
+  payload_.clear();
+  build_rows_ = nullptr;
+  build_key_slots_ = nullptr;
+  int64_mode_ = false;
+}
+
+bool JoinHashTable::HashRange(const std::vector<Row>& rows,
+                              const std::vector<int>& key_slots,
+                              size_t begin, size_t end, bool use_int64) {
+  if (use_int64) {
+    const size_t slot = static_cast<size_t>(key_slots[0]);
+    for (size_t i = begin; i < end; ++i) {
+      const Value& v = rows[i][slot];
+      if (v.is_null()) {
+        row_key_[i] = kSkip;
+        continue;
+      }
+      int64_t k;
+      bool is_null;
+      if (!flat_internal::Int64KeyOf(v, &k, &is_null)) return false;
+      int64_keys_[i] = k;
+      hashes_[i] = flat_internal::HashInt64Key(k);
+      row_key_[i] = 0;  // participates; key id assigned by insert pass
+    }
+    return true;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    if (AnyNull(rows[i], key_slots)) {
+      row_key_[i] = kSkip;
+      continue;
+    }
+    hashes_[i] = HashRowSlots(rows[i], key_slots);
+    row_key_[i] = 0;
+  }
+  return true;
+}
 
 void JoinHashTable::Build(const std::vector<Row>& rows,
                           const std::vector<int>& key_slots,
                           WorkerPool* pool) {
-  map_.clear();
-  constexpr size_t kParallelBuildThreshold = 4096;
-  if (pool == nullptr || pool->num_workers() <= 1 ||
-      rows.size() < kParallelBuildThreshold) {
-    map_.reserve(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (AnyNull(rows[i], key_slots)) continue;
-      map_[ProjectRow(rows[i], key_slots)].push_back(i);
-    }
-    return;
-  }
-  // Partial tables over contiguous row ranges. Each task sees ascending
-  // row indices, and ranges are merged in task order below, so the final
-  // per-key index lists match the serial build exactly.
-  const size_t num_tasks = static_cast<size_t>(pool->num_workers());
-  const size_t chunk = (rows.size() + num_tasks - 1) / num_tasks;
-  std::vector<decltype(map_)> partials(num_tasks);
-  const Status build_status =
-      pool->ParallelFor(num_tasks, [&](size_t t) -> Status {
-        const size_t begin = t * chunk;
-        const size_t end = std::min(begin + chunk, rows.size());
-        auto& partial = partials[t];
-        for (size_t i = begin; i < end; ++i) {
-          if (AnyNull(rows[i], key_slots)) continue;
-          partial[ProjectRow(rows[i], key_slots)].push_back(i);
-        }
-        return Status::OK();
-      });
-  BYPASS_CHECK_MSG(build_status.ok(), "parallel hash build cannot fail");
-  map_.reserve(rows.size());
-  for (auto& partial : partials) {
-    if (map_.empty()) {
-      map_ = std::move(partial);
-      continue;
-    }
-    for (auto it = partial.begin(); it != partial.end();) {
-      auto next = std::next(it);
-      auto dst = map_.find(it->first);
-      if (dst == map_.end()) {
-        map_.insert(partial.extract(it));
-      } else {
-        dst->second.insert(dst->second.end(), it->second.begin(),
-                           it->second.end());
+  Clear();
+  build_rows_ = &rows;
+  build_key_slots_ = &key_slots;
+  const size_t n = rows.size();
+  if (n == 0) return;
+
+  hashes_.resize(n);
+  row_key_.resize(n);
+  // Fast-path election: single int64 key column. The hashing pass
+  // verifies every non-null key (a mixed column falls back to generic
+  // hashing so probe hashes stay consistent with build hashes).
+  int64_mode_ = key_slots.size() == 1;
+  if (int64_mode_) int64_keys_.resize(n);
+
+  const bool parallel = pool != nullptr && pool->num_workers() > 1 &&
+                        n >= kParallelBuildThreshold;
+  auto run_hash_pass = [&](bool use_int64) -> bool {
+    if (!parallel) return HashRange(rows, key_slots, 0, n, use_int64);
+    // Tasks write disjoint ranges of the per-row arrays, so the pass is
+    // deterministic regardless of scheduling; the insert/fill passes
+    // below stay serial, keeping the final layout byte-identical to the
+    // serial build (the PR 2 merge contract).
+    const size_t num_tasks = static_cast<size_t>(pool->num_workers());
+    const size_t chunk = (n + num_tasks - 1) / num_tasks;
+    std::atomic<bool> compatible{true};
+    const Status st = pool->ParallelFor(num_tasks, [&](size_t t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(begin + chunk, n);
+      if (begin < end &&
+          !HashRange(rows, key_slots, begin, end, use_int64)) {
+        compatible.store(false, std::memory_order_relaxed);
       }
-      it = next;
+      return Status::OK();
+    });
+    BYPASS_CHECK_MSG(st.ok(), "parallel hash pass cannot fail");
+    return compatible.load(std::memory_order_relaxed);
+  };
+  if (!run_hash_pass(int64_mode_) && int64_mode_) {
+    int64_mode_ = false;
+    run_hash_pass(false);
+  }
+
+  // Insert pass (serial, ascending row index): assign key ids and count
+  // rows per key. Capacity is pre-sized below 0.7 load even if all n
+  // keys are distinct, so no mid-build rehash can occur.
+  size_t capacity = 16;
+  while (capacity * 7 < n * 10) capacity <<= 1;
+  slots_.assign(capacity, Slot{0, kEmpty});
+  mask_ = capacity - 1;
+  std::vector<uint32_t> counts;
+  for (size_t i = 0; i < n; ++i) {
+    if (row_key_[i] == kSkip) continue;
+    const uint64_t h = hashes_[i];
+    size_t pos = h & mask_;
+    uint32_t key_id = kEmpty;
+    while (true) {
+      Slot& s = slots_[pos];
+      if (s.key_id == kEmpty) {
+        key_id = static_cast<uint32_t>(key_repr_.size());
+        s = Slot{h, key_id};
+        key_repr_.push_back(static_cast<uint32_t>(i));
+        if (int64_mode_) key_int64_.push_back(int64_keys_[i]);
+        counts.push_back(0);
+        break;
+      }
+      if (s.hash == h) {
+        const uint32_t cand = s.key_id;
+        const bool equal =
+            int64_mode_
+                ? key_int64_[cand] == int64_keys_[i]
+                : RowSlotsEqual(rows[i], rows[key_repr_[cand]], key_slots,
+                                key_slots);
+        if (equal) {
+          key_id = cand;
+          break;
+        }
+      }
+      pos = (pos + 1) & mask_;
     }
+    row_key_[i] = key_id;
+    ++counts[key_id];
+  }
+
+  // Fill pass: prefix sums, then ascending row indices per key.
+  offsets_.resize(counts.size() + 1);
+  uint32_t total = 0;
+  for (size_t k = 0; k < counts.size(); ++k) {
+    offsets_[k] = total;
+    total += counts[k];
+  }
+  offsets_[counts.size()] = total;
+  payload_.resize(total);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (row_key_[i] == kSkip) continue;
+    payload_[cursor[row_key_[i]]++] = static_cast<uint32_t>(i);
   }
 }
 
-const std::vector<size_t>* JoinHashTable::Probe(
-    const Row& row, const std::vector<int>& probe_slots) const {
-  if (AnyNull(row, probe_slots)) return nullptr;
-  const auto it = map_.find(RowSlotsRef{&row, &probe_slots});
-  if (it == map_.end()) return nullptr;
-  return &it->second;
+uint32_t JoinHashTable::FindKey(uint64_t hash, int64_t i64,
+                                const Row& row,
+                                const std::vector<int>& probe_slots)
+    const {
+  size_t pos = hash & mask_;
+  while (true) {
+    const Slot& s = slots_[pos];
+    if (s.key_id == kEmpty) return kEmpty;
+    if (s.hash == hash) {
+      const bool equal =
+          int64_mode_
+              ? key_int64_[s.key_id] == i64
+              : RowSlotsEqual(row, (*build_rows_)[key_repr_[s.key_id]],
+                              probe_slots, *build_key_slots_);
+      if (equal) return s.key_id;
+    }
+    pos = (pos + 1) & mask_;
+  }
+}
+
+JoinMatches JoinHashTable::Probe(const Row& row,
+                                 const std::vector<int>& probe_slots)
+    const {
+  if (key_repr_.empty()) return JoinMatches{};
+  uint64_t h;
+  int64_t i64 = 0;
+  if (int64_mode_) {
+    const Value& v = row[static_cast<size_t>(probe_slots[0])];
+    bool is_null;
+    if (v.is_null() || !flat_internal::Int64KeyOf(v, &i64, &is_null)) {
+      return JoinMatches{};
+    }
+    h = flat_internal::HashInt64Key(i64);
+  } else {
+    if (AnyNull(row, probe_slots)) return JoinMatches{};
+    h = HashRowSlots(row, probe_slots);
+  }
+  const uint32_t key_id = FindKey(h, i64, row, probe_slots);
+  if (key_id == kEmpty) return JoinMatches{};
+  return MatchesOf(key_id);
+}
+
+void JoinHashTable::ProbeBatch(const RowBatch& batch,
+                               const std::vector<int>& probe_slots,
+                               JoinProbeScratch* scratch) const {
+  const size_t n = batch.size();
+  scratch->matches.assign(n, JoinMatches{});
+  if (key_repr_.empty() || n == 0) return;
+  scratch->hashes.resize(n);
+  scratch->valid.assign(n, 0);
+  if (int64_mode_) scratch->int64_keys.resize(n);
+
+  // Pass 1: hash every probe key.
+  if (int64_mode_) {
+    const size_t slot = static_cast<size_t>(probe_slots[0]);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = batch.row(i)[slot];
+      int64_t k;
+      bool is_null;
+      if (v.is_null() || !flat_internal::Int64KeyOf(v, &k, &is_null)) {
+        continue;
+      }
+      scratch->int64_keys[i] = k;
+      scratch->hashes[i] = flat_internal::HashInt64Key(k);
+      scratch->valid[i] = 1;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const Row& row = batch.row(i);
+      if (AnyNull(row, probe_slots)) continue;
+      scratch->hashes[i] = HashRowSlots(row, probe_slots);
+      scratch->valid[i] = 1;
+    }
+  }
+
+  // Pass 2: resolve with the slot line for row i + d prefetched while
+  // row i resolves, hiding the dependent load behind the current probe.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t ahead = i + kPrefetchDistance;
+    if (ahead < n && scratch->valid[ahead]) {
+      __builtin_prefetch(&slots_[scratch->hashes[ahead] & mask_]);
+    }
+    if (!scratch->valid[i]) continue;
+    const uint32_t key_id =
+        FindKey(scratch->hashes[i],
+                int64_mode_ ? scratch->int64_keys[i] : 0, batch.row(i),
+                probe_slots);
+    if (key_id != kEmpty) scratch->matches[i] = MatchesOf(key_id);
+  }
 }
 
 // --------------------------------------------------------------- HashJoin
+
+Status HashJoinOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(BinaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
+}
 
 void HashJoinOp::Reset() {
   BinaryPhysOp::Reset();
@@ -91,10 +280,8 @@ Status HashJoinOp::BuildFromRight() {
   return Status::OK();
 }
 
-Status HashJoinOp::ProbeAndEmit(const Row& row) {
-  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
-  if (matches == nullptr) return Status::OK();
-  for (size_t idx : *matches) {
+Status HashJoinOp::EmitMatches(const Row& row, JoinMatches matches) {
+  for (uint32_t idx : matches) {
     Row joined = ConcatRows(row, right_rows()[idx]);
     if (residual_ != nullptr) {
       EvalContext ectx{&joined, ctx_->outer_row()};
@@ -106,14 +293,21 @@ Status HashJoinOp::ProbeAndEmit(const Row& row) {
   return Status::OK();
 }
 
-Status HashJoinOp::ProcessLeft(Row row) { return ProbeAndEmit(row); }
+Status HashJoinOp::ProcessLeft(Row row) {
+  return EmitMatches(row, table_.Probe(row, left_key_slots_));
+}
 
-// Probes each selected row in place: left rows are never copied out of
-// the batch, so probe misses cost no allocation at all.
+// Probes the whole batch through the vectorized hash-then-resolve path:
+// left rows are never copied out of the batch, so probe misses cost no
+// allocation at all.
 Status HashJoinOp::ProcessLeftBatch(RowBatch batch) {
+  JoinProbeScratch& scratch =
+      scratch_[static_cast<size_t>(CurrentWorkerId())];
+  table_.ProbeBatch(batch, left_key_slots_, &scratch);
   const size_t n = batch.size();
   for (size_t i = 0; i < n; ++i) {
-    BYPASS_RETURN_IF_ERROR(ProbeAndEmit(batch.row(i)));
+    if (scratch.matches[i].empty()) continue;
+    BYPASS_RETURN_IF_ERROR(EmitMatches(batch.row(i), scratch.matches[i]));
   }
   return Status::OK();
 }

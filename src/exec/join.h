@@ -4,40 +4,117 @@
 #ifndef BYPASSDB_EXEC_JOIN_H_
 #define BYPASSDB_EXEC_JOIN_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "exec/phys_op.h"
 #include "exec/worker_pool.h"
 #include "expr/expr.h"
 
 namespace bypass {
 
-/// Hash table from key rows to right-side row indices; SQL semantics:
-/// rows with any NULL key never participate.
+/// One probe's matching build-row indices: a view into the table's
+/// payload array, ascending, empty on miss / NULL key.
+struct JoinMatches {
+  const uint32_t* data = nullptr;
+  uint32_t count = 0;
+
+  bool empty() const { return count == 0; }
+  const uint32_t* begin() const { return data; }
+  const uint32_t* end() const { return data + count; }
+};
+
+/// Per-worker scratch for JoinHashTable::ProbeBatch: the batch's hashes
+/// computed in one pass, then resolved with software prefetching.
+struct JoinProbeScratch {
+  std::vector<uint64_t> hashes;
+  std::vector<int64_t> int64_keys;
+  std::vector<uint8_t> valid;      // 0 = NULL / non-matchable probe key
+  std::vector<JoinMatches> matches;  // aligned with the batch's rows
+};
+
+/// Flat open-addressing index from build-side key values to build-row
+/// indices; SQL semantics: rows with any NULL key never participate.
+///
+/// Layout: a power-of-two slot array of {cached hash, key id} probed
+/// linearly; per key an (offset, count) range into one contiguous payload
+/// array of ascending row indices. Keys are never materialized — equality
+/// compares against a representative build row (or, on the single-column
+/// int64 fast path, against a cached raw int64 per key).
 class JoinHashTable {
  public:
   void Clear();
 
   /// Indexes `rows` by the values at `key_slots` (NULL-keyed rows are
-  /// skipped). With a non-null `pool` and enough rows, partial tables are
-  /// built over contiguous row ranges in parallel and merged in range
-  /// order, so each key's index list is ascending — byte-identical to the
-  /// serial build.
+  /// skipped). `rows` and `key_slots` must outlive the table. With a
+  /// non-null `pool` and enough rows the hashing pass runs over
+  /// contiguous row ranges in parallel; the insert/fill passes are serial
+  /// over ascending row indices, so each key's index list is ascending —
+  /// byte-identical to the serial build.
   void Build(const std::vector<Row>& rows,
              const std::vector<int>& key_slots,
              WorkerPool* pool = nullptr);
 
-  /// Matching right-row indices for the probe key taken from `row` at
+  /// Matching build-row indices for the probe key taken from `row` at
   /// `probe_slots`; empty when the key has NULLs. Allocation-free: the
-  /// probe key is looked up through RowSlotsRef, never materialized.
-  const std::vector<size_t>* Probe(const Row& row,
-                                   const std::vector<int>& probe_slots)
-      const;
+  /// probe key is hashed in place, never materialized.
+  JoinMatches Probe(const Row& row,
+                    const std::vector<int>& probe_slots) const;
+
+  /// Probes every selected row of `batch` in two passes: hash all keys
+  /// into `scratch`, then resolve with the slot line for row i+d
+  /// prefetched while row i resolves. `scratch->matches` ends up aligned
+  /// with the batch's selected rows. Safe to call concurrently from
+  /// multiple workers with distinct scratches.
+  void ProbeBatch(const RowBatch& batch,
+                  const std::vector<int>& probe_slots,
+                  JoinProbeScratch* scratch) const;
+
+  size_t num_keys() const { return key_repr_.size(); }
 
  private:
-  std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq> map_;
+  struct Slot {
+    uint64_t hash;
+    uint32_t key_id;
+  };
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  static constexpr uint32_t kSkip = 0xffffffffu;
+
+  /// Hashing pass over [begin, end): fills hashes_/row_key_ skip marks
+  /// (and int64_keys_ in int64 mode). Returns false when a non-null key
+  /// incompatible with the int64 fast path was seen.
+  bool HashRange(const std::vector<Row>& rows,
+                 const std::vector<int>& key_slots, size_t begin,
+                 size_t end, bool use_int64);
+
+  JoinMatches MatchesOf(uint32_t key_id) const {
+    return JoinMatches{payload_.data() + offsets_[key_id],
+                       offsets_[key_id + 1] - offsets_[key_id]};
+  }
+
+  /// Resolves one probe hash to a key id (kEmpty on miss). `row` backs
+  /// the generic-mode equality compare; int64 mode compares `i64`.
+  uint32_t FindKey(uint64_t hash, int64_t i64, const Row& row,
+                   const std::vector<int>& probe_slots) const;
+
+  // Slot array (power-of-two) and per-key metadata.
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  std::vector<uint32_t> key_repr_;   // representative build-row per key
+  std::vector<int64_t> key_int64_;   // int64 mode: raw key per key id
+  std::vector<uint32_t> offsets_;    // num_keys + 1 prefix sums
+  std::vector<uint32_t> payload_;    // row indices grouped by key, asc
+
+  // Build-time scratch (kept for reuse across Reset/Build cycles).
+  std::vector<uint64_t> hashes_;
+  std::vector<int64_t> int64_keys_;
+  std::vector<uint32_t> row_key_;
+
+  const std::vector<Row>* build_rows_ = nullptr;
+  const std::vector<int>* build_key_slots_ = nullptr;
+  bool int64_mode_ = false;
 };
 
 /// Equi hash join (right = build side). Optional residual predicate over
@@ -50,6 +127,7 @@ class HashJoinOp : public BinaryPhysOp {
         right_key_slots_(std::move(right_key_slots)),
         residual_(std::move(residual)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   void Reset() override;
   std::string Label() const override { return "HashJoin"; }
 
@@ -60,12 +138,13 @@ class HashJoinOp : public BinaryPhysOp {
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
-  Status ProbeAndEmit(const Row& row);
+  Status EmitMatches(const Row& row, JoinMatches matches);
 
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   ExprPtr residual_;
   JoinHashTable table_;
+  std::vector<JoinProbeScratch> scratch_;  // per worker
 };
 
 /// Nested-loop join; null predicate = cross product.

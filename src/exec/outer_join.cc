@@ -2,6 +2,12 @@
 
 namespace bypass {
 
+Status HashLeftOuterJoinOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(BinaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
+}
+
 void HashLeftOuterJoinOp::Reset() {
   BinaryPhysOp::Reset();
   table_.Clear();
@@ -12,24 +18,29 @@ Status HashLeftOuterJoinOp::BuildFromRight() {
   return Status::OK();
 }
 
-Status HashLeftOuterJoinOp::JoinOrPad(const Row& row) {
-  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
-  if (matches == nullptr || matches->empty()) {
+Status HashLeftOuterJoinOp::EmitPadded(const Row& row,
+                                       JoinMatches matches) {
+  if (matches.empty()) {
     return EmitRow(kPortOut, ConcatRows(row, unmatched_right_));
   }
-  for (size_t idx : *matches) {
+  for (uint32_t idx : matches) {
     BYPASS_RETURN_IF_ERROR(
         EmitRow(kPortOut, ConcatRows(row, right_rows()[idx])));
   }
   return Status::OK();
 }
 
-Status HashLeftOuterJoinOp::ProcessLeft(Row row) { return JoinOrPad(row); }
+Status HashLeftOuterJoinOp::ProcessLeft(Row row) {
+  return EmitPadded(row, table_.Probe(row, left_key_slots_));
+}
 
 Status HashLeftOuterJoinOp::ProcessLeftBatch(RowBatch batch) {
+  JoinProbeScratch& scratch =
+      scratch_[static_cast<size_t>(CurrentWorkerId())];
+  table_.ProbeBatch(batch, left_key_slots_, &scratch);
   const size_t n = batch.size();
   for (size_t i = 0; i < n; ++i) {
-    BYPASS_RETURN_IF_ERROR(JoinOrPad(batch.row(i)));
+    BYPASS_RETURN_IF_ERROR(EmitPadded(batch.row(i), scratch.matches[i]));
   }
   return Status::OK();
 }

@@ -25,6 +25,7 @@ class HashLeftOuterJoinOp : public BinaryPhysOp {
         right_key_slots_(std::move(right_key_slots)),
         unmatched_right_(std::move(unmatched_right)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   void Reset() override;
   std::string Label() const override { return "HashLeftOuterJoin"; }
 
@@ -35,12 +36,13 @@ class HashLeftOuterJoinOp : public BinaryPhysOp {
   Status FinishBoth() override { return EmitFinish(kPortOut); }
 
  private:
-  Status JoinOrPad(const Row& row);
+  Status EmitPadded(const Row& row, JoinMatches matches);
 
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   Row unmatched_right_;
   JoinHashTable table_;
+  std::vector<JoinProbeScratch> scratch_;  // per worker
 };
 
 /// Nested-loop left outer join for arbitrary predicates.

@@ -87,6 +87,10 @@ Status PhysOp::EmitRow(int out_port, Row row) {
   WorkerState& worker = workers_[static_cast<size_t>(CurrentWorkerId())];
   std::vector<Row>& pending =
       worker.ports[static_cast<size_t>(out_port)].pending;
+  // FlushPending swaps the buffer away, so after every flush the builder
+  // restarts at capacity 0; reserve the full batch up front instead of
+  // growing through the doubling sequence batch after batch.
+  if (pending.empty()) pending.reserve(batch_size_);
   pending.push_back(std::move(row));
   if (pending.size() >= batch_size_) {
     return FlushPending(out_port, &worker);

@@ -18,6 +18,7 @@ Status ProjectPhysOp::Consume(int, RowBatch batch) {
   columns.resize(exprs_.size());
   for (size_t c = 0; c < exprs_.size(); ++c) {
     columns[c].clear();
+    columns[c].reserve(n);
     BYPASS_RETURN_IF_ERROR(
         exprs_[c]->EvalBatch(batch, ctx_->outer_row(), &columns[c]));
   }
@@ -51,6 +52,7 @@ Status MapPhysOp::Consume(int, RowBatch batch) {
   columns.resize(exprs_.size());
   for (size_t c = 0; c < exprs_.size(); ++c) {
     columns[c].clear();
+    columns[c].reserve(n);
     BYPASS_RETURN_IF_ERROR(
         exprs_[c]->EvalBatch(batch, ctx_->outer_row(), &columns[c]));
   }

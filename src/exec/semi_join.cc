@@ -2,6 +2,12 @@
 
 namespace bypass {
 
+Status HashExistenceJoinOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(BinaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  return Status::OK();
+}
+
 void HashExistenceJoinOp::Reset() {
   BinaryPhysOp::Reset();
   table_.Clear();
@@ -13,8 +19,7 @@ Status HashExistenceJoinOp::BuildFromRight() {
 }
 
 bool HashExistenceJoinOp::Matches(const Row& row) const {
-  const std::vector<size_t>* matches = table_.Probe(row, left_key_slots_);
-  return matches != nullptr && !matches->empty();
+  return !table_.Probe(row, left_key_slots_).empty();
 }
 
 Status HashExistenceJoinOp::ProcessLeft(Row row) {
@@ -24,12 +29,15 @@ Status HashExistenceJoinOp::ProcessLeft(Row row) {
   return Status::OK();
 }
 
-// Probes in place; the left row is only copied out of the batch when it
-// actually passes the existence test.
+// Batch-probes in place; the left row is only copied out of the batch
+// when it actually passes the existence test.
 Status HashExistenceJoinOp::ProcessLeftBatch(RowBatch batch) {
+  JoinProbeScratch& scratch =
+      scratch_[static_cast<size_t>(CurrentWorkerId())];
+  table_.ProbeBatch(batch, left_key_slots_, &scratch);
   const size_t n = batch.size();
   for (size_t i = 0; i < n; ++i) {
-    if (Matches(batch.row(i)) != anti_) {
+    if (!scratch.matches[i].empty() != anti_) {
       BYPASS_RETURN_IF_ERROR(EmitRow(kPortOut, batch.TakeRow(i)));
     }
   }

@@ -24,6 +24,7 @@ class HashExistenceJoinOp : public BinaryPhysOp {
         left_key_slots_(std::move(left_key_slots)),
         right_key_slots_(std::move(right_key_slots)) {}
 
+  Status Prepare(ExecContext* ctx) override;
   void Reset() override;
   std::string Label() const override {
     return anti_ ? "HashAntiJoin" : "HashSemiJoin";
@@ -42,6 +43,7 @@ class HashExistenceJoinOp : public BinaryPhysOp {
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   JoinHashTable table_;
+  std::vector<JoinProbeScratch> scratch_;  // per worker
 };
 
 /// Nested-loop semi/anti join for arbitrary predicates.

@@ -22,11 +22,16 @@ Status SortPhysOp::Consume(int, RowBatch batch) {
 
 Status SortPhysOp::FinishPort(int) {
   // Merge the per-worker buffers (worker order; serial runs keep their
-  // arrival order exactly), then sort the union.
+  // arrival order exactly), then sort the union. The single-partial case
+  // (serial runs) stays a wholesale move; with several non-empty
+  // partials one up-front reservation covers the whole union.
+  size_t total = 0;
+  for (const Partial& p : partials_) total += p.rows.size();
   std::vector<Row> buffer;
   for (Partial& p : partials_) {
     if (buffer.empty()) {
       buffer = std::move(p.rows);
+      if (buffer.size() < total) buffer.reserve(total);
     } else {
       buffer.insert(buffer.end(),
                     std::make_move_iterator(p.rows.begin()),

@@ -30,19 +30,46 @@ void ExecSubplan::Configure(
 }
 
 void ExecSubplan::ClearCache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  scalar_cache_.clear();
-  exists_cache_.clear();
-  in_cache_.clear();
-  num_executions_ = 0;
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  for (CacheStripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.scalar.Clear();
+    s.exists.Clear();
+    s.in.Clear();
+  }
+  num_executions_.store(0, std::memory_order_relaxed);
   for (ExecSubplan* nested : plan_.subplans) {
     nested->ClearCache();
   }
 }
 
 Row ExecSubplan::MemoKey(const Row* outer_row) const {
-  if (outer_row == nullptr || free_outer_slots_.empty()) return Row{};
+  if (!HasKeySlots(outer_row)) return Row{};
   return ProjectRow(*outer_row, free_outer_slots_);
+}
+
+ExecSubplan::CacheStripe& ExecSubplan::StripeFor(const Row* outer_row,
+                                                 const Value* probe) {
+  // Mirrors HashRow over the materialized memo key (free attributes,
+  // plus the probe value for IN) so equal keys always pick the same
+  // stripe; the table inside the stripe re-hashes with its own scheme.
+  size_t h = 0x345678;
+  if (HasKeySlots(outer_row)) {
+    for (int s : free_outer_slots_) {
+      h = h * 1000003 + (*outer_row)[static_cast<size_t>(s)].Hash();
+    }
+  }
+  if (probe != nullptr) h = h * 1000003 + probe->Hash();
+  return stripes_[h & (kNumStripes - 1)];
+}
+
+template <typename V>
+const V* ExecSubplan::Lookup(const FlatRowMap<V>& cache,
+                             const Row* outer_row) const {
+  if (HasKeySlots(outer_row)) {
+    return cache.Find(RowSlotsRef{outer_row, &free_outer_slots_});
+  }
+  return cache.Find(Row{});
 }
 
 Status ExecSubplan::Execute(const Row* outer_row) {
@@ -50,7 +77,7 @@ Status ExecSubplan::Execute(const Row* outer_row) {
   // also where a time budget must be enforced even when each individual
   // run is short.
   BYPASS_RETURN_IF_ERROR(ctx_.CheckBudget());
-  ++num_executions_;
+  num_executions_.fetch_add(1, std::memory_order_relaxed);
   if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_executions;
   ctx_.set_cancelled(false);
   ctx_.set_outer_row(outer_row);
@@ -58,17 +85,26 @@ Status ExecSubplan::Execute(const Row* outer_row) {
 }
 
 Result<Value> ExecSubplan::EvalScalar(const Row* outer_row) {
-  std::lock_guard<std::mutex> lock(mu_);
   // Uncorrelated (type A) blocks are always materialized once; correlated
   // blocks only under the memoization strategy.
-  const bool use_cache = memoize_ || free_outer_slots_.empty();
-  Row key;
+  const bool use_cache = UseCache();
+  CacheStripe* stripe = nullptr;
   if (use_cache) {
-    key = MemoKey(outer_row);
-    const auto it = scalar_cache_.find(key);
-    if (it != scalar_cache_.end()) {
+    stripe = &StripeFor(outer_row, nullptr);
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const Value* hit = Lookup(stripe->scalar, outer_row)) {
       if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
-      return it->second;
+      return *hit;
+    }
+  }
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (use_cache) {
+    // Double-check: another worker may have filled the entry while this
+    // one waited for the exec lock.
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const Value* hit = Lookup(stripe->scalar, outer_row)) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return *hit;
     }
   }
   BYPASS_RETURN_IF_ERROR(Execute(outer_row));
@@ -87,20 +123,31 @@ Result<Value> ExecSubplan::EvalScalar(const Row* outer_row) {
     return Status::ExecutionError(
         "scalar subquery returned more than one row");
   }
-  if (use_cache) scalar_cache_.emplace(std::move(key), result);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->scalar.FindOrEmplace(MemoKey(outer_row),
+                                 [&] { return result; });
+  }
   return result;
 }
 
 Result<bool> ExecSubplan::EvalExists(const Row* outer_row) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const bool use_cache = memoize_ || free_outer_slots_.empty();
-  Row key;
+  const bool use_cache = UseCache();
+  CacheStripe* stripe = nullptr;
   if (use_cache) {
-    key = MemoKey(outer_row);
-    const auto it = exists_cache_.find(key);
-    if (it != exists_cache_.end()) {
+    stripe = &StripeFor(outer_row, nullptr);
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const bool* hit = Lookup(stripe->exists, outer_row)) {
       if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
-      return it->second;
+      return *hit;
+    }
+  }
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const bool* hit = Lookup(stripe->exists, outer_row)) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return *hit;
     }
   }
   ctx_.set_limit_one(true);
@@ -108,22 +155,38 @@ Result<bool> ExecSubplan::EvalExists(const Row* outer_row) {
   ctx_.set_limit_one(false);
   BYPASS_RETURN_IF_ERROR(st);
   const bool found = !plan_.sink->rows().empty();
-  if (use_cache) exists_cache_.emplace(std::move(key), found);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->exists.FindOrEmplace(MemoKey(outer_row),
+                                 [&] { return found; });
+  }
   return found;
 }
 
 Result<TriBool> ExecSubplan::EvalIn(const Value& probe,
                                     const Row* outer_row) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const bool use_cache = memoize_ || free_outer_slots_.empty();
+  const bool use_cache = UseCache();
+  CacheStripe* stripe = nullptr;
   Row key;
   if (use_cache) {
+    // The IN key appends the probe value to the free attributes, so the
+    // transparent slot-based probe does not apply; materialize once and
+    // reuse the row for the lookups and the insert.
     key = MemoKey(outer_row);
     key.push_back(probe);
-    const auto it = in_cache_.find(key);
-    if (it != in_cache_.end()) {
+    stripe = &StripeFor(outer_row, &probe);
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const TriBool* hit = stripe->in.Find(key)) {
       if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
-      return it->second;
+      return *hit;
+    }
+  }
+  std::lock_guard<std::mutex> exec_lock(exec_mu_);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (const TriBool* hit = stripe->in.Find(key)) {
+      if (ctx_.stats() != nullptr) ++ctx_.stats()->subquery_cache_hits;
+      return *hit;
     }
   }
   BYPASS_RETURN_IF_ERROR(Execute(outer_row));
@@ -143,7 +206,10 @@ Result<TriBool> ExecSubplan::EvalIn(const Value& probe,
     }
     if (c == TriBool::kUnknown) result = TriBool::kUnknown;
   }
-  if (use_cache) in_cache_.emplace(std::move(key), result);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->in.FindOrEmplace(std::move(key), [&] { return result; });
+  }
   return result;
 }
 

@@ -3,21 +3,25 @@
 // memoization keyed on the block's free attributes — the strategy our
 // benchmark suite labels "canonical-memo".
 //
-// Thread safety: a subplan's private plan and memo caches are shared
-// mutable state, so Eval* calls arriving from concurrent workers are
-// serialized by a per-subplan mutex. The subplan itself always runs
-// serially on the evaluating worker's thread (its context has no pool);
-// its operators still size their per-worker slots to the parent query's
-// worker count because the evaluating worker indexes them by its own id.
+// Thread safety: plan execution is shared mutable state (the subplan's
+// operators and sink), so it is serialized by a per-subplan exec mutex.
+// The memo caches, however, are sharded into kNumStripes stripes each
+// guarded by its own mutex, so concurrent workers whose keys land in
+// different stripes resolve cache *hits* without contending on a single
+// lock. Cache misses take the exec mutex, re-check the stripe (another
+// worker may have computed the entry while this one waited), execute,
+// and publish the result. Lock order is exec → stripe; a stripe lock is
+// never held while acquiring the exec lock.
 #ifndef BYPASSDB_EXEC_SUBPLAN_IMPL_H_
 #define BYPASSDB_EXEC_SUBPLAN_IMPL_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "exec/executor.h"
 #include "expr/subplan.h"
 
@@ -36,7 +40,9 @@ class ExecSubplan : public CorrelatedSubplan {
   Result<TriBool> EvalIn(const Value& probe,
                          const Row* outer_row) override;
 
-  int64_t num_executions() const override { return num_executions_; }
+  int64_t num_executions() const override {
+    return num_executions_.load(std::memory_order_relaxed);
+  }
 
   /// Propagates the query's deadline, stats sinks, batch size, and
   /// worker-slot count into this block's private execution context
@@ -55,23 +61,44 @@ class ExecSubplan : public CorrelatedSubplan {
   PhysicalPlan* plan() { return &plan_; }
 
  private:
+  static constexpr size_t kNumStripes = 8;  // power of two
+
+  /// One shard of the memo caches, padded onto its own cache line so
+  /// stripe locks taken by different workers never false-share.
+  struct alignas(64) CacheStripe {
+    std::mutex mu;
+    FlatRowMap<Value> scalar;
+    FlatRowMap<bool> exists;
+    FlatRowMap<TriBool> in;
+  };
+
   /// Runs the plan for `outer_row` and leaves the rows in the sink.
-  /// Caller must hold mu_.
+  /// Caller must hold exec_mu_.
   Status Execute(const Row* outer_row);
 
   Row MemoKey(const Row* outer_row) const;
+  /// True when this call should consult/fill the memo caches.
+  bool UseCache() const { return memoize_ || free_outer_slots_.empty(); }
+  /// True when the memo key is non-trivial (transparent probes apply).
+  bool HasKeySlots(const Row* outer_row) const {
+    return outer_row != nullptr && !free_outer_slots_.empty();
+  }
+  /// Stripe owning the memo key of `outer_row` (+ optional IN probe).
+  CacheStripe& StripeFor(const Row* outer_row, const Value* probe);
+  /// Looks up `cache` under the caller-held stripe lock via a transparent
+  /// probe (no key materialization on the hit path).
+  template <typename V>
+  const V* Lookup(const FlatRowMap<V>& cache, const Row* outer_row) const;
 
   PhysicalPlan plan_;
   std::vector<int> free_outer_slots_;
   bool memoize_;
   ExecContext ctx_;
-  int64_t num_executions_ = 0;
+  std::atomic<int64_t> num_executions_{0};
 
-  /// Serializes concurrent Eval* calls (plan state + caches).
-  std::mutex mu_;
-  std::unordered_map<Row, Value, RowHash, RowEq> scalar_cache_;
-  std::unordered_map<Row, bool, RowHash, RowEq> exists_cache_;
-  std::unordered_map<Row, TriBool, RowHash, RowEq> in_cache_;
+  /// Serializes plan execution (operators + sink are shared state).
+  std::mutex exec_mu_;
+  CacheStripe stripes_[kNumStripes];
 };
 
 }  // namespace bypass

@@ -47,7 +47,7 @@ void Aggregator::Reset() {
   int_sum_ = 0;
   double_sum_ = 0;
   extreme_ = Value::Null();
-  distinct_.clear();
+  distinct_.Clear();
 }
 
 Status Aggregator::Accumulate(const EvalContext& ctx) {
@@ -56,7 +56,7 @@ Status Aggregator::Accumulate(const EvalContext& ctx) {
     // COUNT(DISTINCT *) counts distinct rows. Other functions cannot take
     // '*' (rejected at bind time).
     if (spec_->distinct) {
-      if (!distinct_.insert(*ctx.row).second) return Status::OK();
+      if (!distinct_.Insert(*ctx.row)) return Status::OK();
     }
     ++count_;
     return Status::OK();
@@ -64,8 +64,7 @@ Status Aggregator::Accumulate(const EvalContext& ctx) {
   BYPASS_ASSIGN_OR_RETURN(Value v, spec_->arg->Eval(ctx));
   if (v.is_null()) return Status::OK();  // aggregates skip NULL inputs
   if (spec_->distinct) {
-    Row key{v};
-    if (!distinct_.insert(std::move(key)).second) return Status::OK();
+    if (!distinct_.Insert(Row{v})) return Status::OK();
   }
   return AccumulateValue(v, *ctx.row);
 }
@@ -109,15 +108,17 @@ Status Aggregator::Merge(const Aggregator& other) {
     // Re-apply only the entries this accumulator has not seen; the other
     // side's sums/counts cannot be added directly because the two dedup
     // sets may overlap.
-    for (const Row& key : other.distinct_) {
-      if (!distinct_.insert(key).second) continue;
+    Status st = Status::OK();
+    other.distinct_.ForEach([&](const Row& key) {
+      if (!st.ok()) return;
+      if (!distinct_.Insert(key)) return;
       if (spec_->arg == nullptr) {
         ++count_;
       } else {
-        BYPASS_RETURN_IF_ERROR(AccumulateValue(key[0], key));
+        st = AccumulateValue(key[0], key);
       }
-    }
-    return Status::OK();
+    });
+    return st;
   }
   count_ += other.count_;
   sum_is_double_ = sum_is_double_ || other.sum_is_double_;

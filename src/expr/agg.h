@@ -5,9 +5,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "expr/expr.h"
 #include "types/row.h"
 #include "types/value.h"
@@ -70,7 +70,7 @@ class Aggregator {
   int64_t int_sum_ = 0;
   double double_sum_ = 0;
   Value extreme_;            // running MIN/MAX
-  std::unordered_set<Row, RowHash, RowEq> distinct_;  // DISTINCT dedup
+  FlatRowSet distinct_;      // DISTINCT dedup
 };
 
 /// A bundle of aggregators evaluated over the same group.
