@@ -4,13 +4,13 @@
 # sweep), and the Q2d end-to-end harness (median-of-5 each), plus a
 # thread-scaling curve for the morsel-parallel executor and the
 # statistics-subsystem sweep (cost-based pick accuracy across disjunct
-# skews, ANALYZE overhead, post-ANALYZE q-error), and writes
-# BENCH_PR4.json. Prior PR reports (BENCH_PR1..3.json) are never
-# overwritten: each PR writes its own file so the history stays
-# comparable side by side.
+# skews, ANALYZE overhead, post-ANALYZE q-error), and the paired
+# row-vs-columnar kernel microbenchmarks, and writes BENCH_PR5.json.
+# Prior PR reports (BENCH_PR1..4.json) are never overwritten: each PR
+# writes its own file so the history stays comparable side by side.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR4.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR5.json)
 #
 # Every report embeds environment metadata — host CPU count plus the
 # compiler and flags captured in <build-dir>/build_info.json at configure
@@ -26,14 +26,15 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR4.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR5.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 HASH=${BUILD_DIR}/bench/bench_hash
+COL=${BUILD_DIR}/bench/bench_columnar
 Q2D=${BUILD_DIR}/bench/bench_q2d
 STATS=${BUILD_DIR}/bench/bench_stats
 BUILD_INFO=${BUILD_DIR}/build_info.json
 
-[[ -x ${OPS} && -x ${HASH} && -x ${Q2D} && -x ${STATS} ]] || {
+[[ -x ${OPS} && -x ${HASH} && -x ${COL} && -x ${Q2D} && -x ${STATS} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -49,6 +50,12 @@ HASH_JSON=$(mktemp)
 "${HASH}" --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json 2>/dev/null >"${HASH_JSON}"
+
+echo "== bench_columnar (median of 5 repetitions) =="
+COL_JSON=$(mktemp)
+"${COL}" --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json 2>/dev/null >"${COL_JSON}"
 
 echo "== bench_q2d --quick (5 runs) =="
 Q2D_TXT=$(mktemp)
@@ -72,13 +79,13 @@ STATS_JSON=$(mktemp)
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
-  "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" <<'EOF'
+  "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" "${COL_JSON}" <<'EOF'
 import json
 import statistics
 import sys
 
 (ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json, hash_json,
- build_info) = sys.argv[1:9]
+ build_info, col_json) = sys.argv[1:10]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -96,12 +103,13 @@ except (OSError, json.JSONDecodeError):
     # Pre-refresh build dir: metadata appears after the next cmake run.
     env_meta["compiler"] = "unknown (re-run cmake for build_info.json)"
 
-report = {"benchmark": "BENCH_PR4", "protocol": "median-of-5",
+report = {"benchmark": "BENCH_PR5", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
           "environment": env_meta,
           "operators": {}, "bypass_select_thread_scaling": {},
-          "hash_tables": {}, "q2d_quick_sf0.01": {},
-          "q2d_thread_scaling": {}, "stats_subsystem": {}}
+          "hash_tables": {}, "columnar_kernels": {},
+          "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
+          "stats_subsystem": {}}
 
 # Hash microbenchmarks: flat structures vs in-binary replicas of the
 # node-based PR 3 tables, same data and flags, so each pair's ratio is
@@ -142,6 +150,38 @@ for pct in (1, 5, 10, 25, 50, 75, 100):
                 entry["unordered"]["median_ms"] / batch["median_ms"], 2)
     sweep[f"match_{pct}pct"] = entry
 report["hash_tables"]["join_probe_match_rate_sweep"] = sweep
+
+# Columnar kernel pairs: BM_Row* and BM_Columnar* process the identical
+# 1024-row batch through the same entry points (Expr::PartitionBatch for
+# the fused σ± split, AggregatorSet::AccumulateBatch for the aggregate
+# folds); the only difference is whether the batch carries typed columns.
+# Each pair's ratio is the kernel speedup at the default batch size.
+col_medians = {}
+with open(col_json) as f:
+    for b in json.load(f)["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        ms = b["real_time"] / 1e6
+        items_per_sec = b.get("items_per_second")
+        col_medians[b["run_name"]] = {
+            "median_ms": round(ms, 6),
+            "rows_per_sec": round(items_per_sec) if items_per_sec else None,
+        }
+
+def columnar_pair(row_name, col_name):
+    r, c = col_medians.get(row_name), col_medians.get(col_name)
+    entry = {"row": r, "columnar": c}
+    if r and c:
+        entry["speedup_columnar_vs_row"] = round(
+            r["median_ms"] / c["median_ms"], 2)
+    return entry
+
+report["columnar_kernels"]["bypass_partition_int64"] = columnar_pair(
+    "BM_RowPartitionInt64", "BM_ColumnarPartitionInt64")
+report["columnar_kernels"]["bypass_partition_double"] = columnar_pair(
+    "BM_RowPartitionDouble", "BM_ColumnarPartitionDouble")
+report["columnar_kernels"]["aggregate_sum_min"] = columnar_pair(
+    "BM_RowAggregate", "BM_ColumnarAggregate")
 
 # The statistics sweep emits its JSON directly (pick accuracy per
 # policy, per-skew timings, ANALYZE overhead, post-ANALYZE q-error).
@@ -210,4 +250,4 @@ print(f"\nwrote {out_path}")
 EOF
 
 rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}" \
-  "${HASH_JSON}"
+  "${HASH_JSON}" "${COL_JSON}"

@@ -10,8 +10,8 @@ set -euo pipefail
 BUILD_DIR=${1:-build}
 BIN=${BUILD_DIR}/bench
 
-for b in bench_operators bench_hash bench_q1 bench_q2corr bench_q2d \
-         bench_q3_tree bench_q4_linear bench_quantified \
+for b in bench_operators bench_hash bench_columnar bench_q1 bench_q2corr \
+         bench_q2d bench_q3_tree bench_q4_linear bench_quantified \
          bench_select_clause bench_ablation_rank bench_stats; do
   [[ -x ${BIN}/${b} ]] || {
     echo "missing bench binary ${BIN}/${b} — build first" >&2
@@ -30,6 +30,13 @@ run "${BIN}/bench_operators" --benchmark_min_time=0.01 \
   --benchmark_filter='BM_PlainSelection$'
 run "${BIN}/bench_hash" --benchmark_min_time=0.01 \
   --benchmark_filter='BM_JoinBuildFlat$|BM_JoinProbeFlat/10$|BM_JoinProbeBatchFlat/10$|BM_GroupUpsertFlat$'
+run "${BIN}/bench_columnar" --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_ColumnarPartitionInt64$|BM_RowPartitionInt64$'
+
+# Columnar plumbing assertion: a table scan must actually attach typed
+# columns (ExecStats::columnar_batches > 0) and report none when the
+# option is off. Exits nonzero on failure.
+run "${BIN}/bench_columnar" --assert-columnar
 
 # Paper-table harnesses: smallest grid, tiny data, short per-cell budget.
 run "${BIN}/bench_q1" --quick --rows-per-sf=20 --timeout=10

@@ -1,8 +1,171 @@
 #include "catalog/table.h"
 
+#include <functional>
+#include <string_view>
 #include <unordered_set>
 
 namespace bypass {
+
+namespace {
+
+// Total-order comparator matching Value::OrderCompare on two doubles
+// (NaN compares equal to everything, so min/max folds keep the first
+// element seen, exactly like the Value-based fold did).
+int CompareDoublesTotal(double a, double b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+// Lazy-tier stats for one typed column without materializing Values:
+// null count from the bitmap, min/max folded over raw data with the same
+// ordering Value::OrderCompare induces for a single-typed column, and an
+// exact NDV over raw values.
+ColumnStatistics TypedColumnStats(const ColumnVector& col) {
+  ColumnStatistics st;
+  const size_t n = col.size();
+  switch (col.type()) {
+    case DataType::kInt64: {
+      const int64_t* data = col.i64_data();
+      std::unordered_set<int64_t> seen;
+      bool have = false;
+      int64_t lo = 0, hi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) {
+          ++st.null_count;
+          continue;
+        }
+        seen.insert(data[i]);
+        if (!have) {
+          lo = hi = data[i];
+          have = true;
+        } else {
+          if (data[i] < lo) lo = data[i];
+          if (data[i] > hi) hi = data[i];
+        }
+      }
+      if (have) {
+        st.min = Value::Int64(lo);
+        st.max = Value::Int64(hi);
+      }
+      st.distinct_count = static_cast<int64_t>(seen.size());
+      break;
+    }
+    case DataType::kDouble: {
+      const double* data = col.f64_data();
+      // Hash-identity NDV (±0.0 normalized, NaNs collapse to one value),
+      // matching what the Value::Hash-based loop counted.
+      std::unordered_set<size_t> seen;
+      bool have = false;
+      double lo = 0, hi = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) {
+          ++st.null_count;
+          continue;
+        }
+        seen.insert(
+            std::hash<double>()(data[i] == 0.0 ? 0.0 : data[i]));
+        if (!have) {
+          lo = hi = data[i];
+          have = true;
+        } else {
+          if (CompareDoublesTotal(data[i], lo) < 0) lo = data[i];
+          if (CompareDoublesTotal(data[i], hi) > 0) hi = data[i];
+        }
+      }
+      if (have) {
+        st.min = Value::Double(lo);
+        st.max = Value::Double(hi);
+      }
+      st.distinct_count = static_cast<int64_t>(seen.size());
+      break;
+    }
+    case DataType::kBool: {
+      const uint8_t* data = col.bool_data();
+      bool saw_false = false, saw_true = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) {
+          ++st.null_count;
+          continue;
+        }
+        (data[i] != 0 ? saw_true : saw_false) = true;
+      }
+      if (saw_false || saw_true) {
+        st.min = Value::Bool(saw_false ? false : true);
+        st.max = Value::Bool(saw_true ? true : false);
+      }
+      st.distinct_count = (saw_false ? 1 : 0) + (saw_true ? 1 : 0);
+      break;
+    }
+    case DataType::kString: {
+      std::unordered_set<std::string_view> seen;
+      bool have = false;
+      std::string_view lo, hi;
+      for (size_t i = 0; i < n; ++i) {
+        if (col.IsNull(i)) {
+          ++st.null_count;
+          continue;
+        }
+        const std::string_view s = col.string_at(i);
+        seen.insert(s);
+        if (!have) {
+          lo = hi = s;
+          have = true;
+        } else {
+          if (s.compare(lo) < 0) lo = s;
+          if (s.compare(hi) > 0) hi = s;
+        }
+      }
+      if (have) {
+        st.min = Value::String(std::string(lo));
+        st.max = Value::String(std::string(hi));
+      }
+      st.distinct_count = static_cast<int64_t>(seen.size());
+      break;
+    }
+  }
+  return st;
+}
+
+// Mixed-mode fallback: the pre-columnar per-Value loop (NDV via value
+// hashes, min/max via OrderCompare, which also handles cross-typed
+// numerics the way the old row path did).
+ColumnStatistics MixedColumnStats(const ColumnVector& col) {
+  ColumnStatistics st;
+  std::unordered_set<size_t> seen_hashes;
+  bool have_minmax = false;
+  for (size_t i = 0; i < col.size(); ++i) {
+    const Value v = col.GetValue(i);
+    if (v.is_null()) {
+      ++st.null_count;
+      continue;
+    }
+    seen_hashes.insert(v.Hash());
+    if (!have_minmax) {
+      st.min = v;
+      st.max = v;
+      have_minmax = true;
+    } else {
+      if (v.OrderCompare(st.min) < 0) st.min = v;
+      if (v.OrderCompare(st.max) > 0) st.max = v;
+    }
+  }
+  st.distinct_count = static_cast<int64_t>(seen_hashes.size());
+  return st;
+}
+
+}  // namespace
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.columns.reserve(static_cast<size_t>(schema_.num_columns()));
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    columns_.columns.emplace_back(schema_.column(c).type);
+  }
+}
+
+void Table::Invalidate() {
+  rows_valid_.store(false, std::memory_order_release);
+  stats_valid_.store(false, std::memory_order_release);
+}
 
 Status Table::Append(Row row) {
   if (static_cast<int>(row.size()) != schema_.num_columns()) {
@@ -26,8 +189,8 @@ Status Table::Append(Row row) {
           DataTypeToString(expected) + ", got " + v.ToString());
     }
   }
-  rows_.push_back(std::move(row));
-  stats_valid_.store(false, std::memory_order_release);
+  columns_.AppendRow(row);
+  Invalidate();
   return Status::OK();
 }
 
@@ -38,20 +201,35 @@ Status Table::AppendUnchecked(std::vector<Row> rows) {
                                      name_ + "'");
     }
   }
-  if (rows_.empty()) {
-    rows_ = std::move(rows);
-  } else {
-    rows_.reserve(rows_.size() + rows.size());
-    for (Row& r : rows) rows_.push_back(std::move(r));
-  }
-  stats_valid_.store(false, std::memory_order_release);
+  columns_.Reserve(columns_.num_rows + rows.size());
+  for (const Row& r : rows) columns_.AppendRow(r);
+  Invalidate();
   return Status::OK();
 }
 
 void Table::Clear() {
-  rows_.clear();
+  columns_.Clear();
+  row_shim_.clear();
   stats_.clear();
-  stats_valid_.store(false, std::memory_order_release);
+  Invalidate();
+}
+
+const std::vector<Row>& Table::rows() const {
+  // Double-checked init, same discipline as stats(): the release store
+  // below pairs with this acquire load, so a reader that sees the flag
+  // also sees the materialized rows.
+  if (!rows_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(rows_mutex_);
+    if (!rows_valid_.load(std::memory_order_relaxed)) {
+      row_shim_.clear();
+      row_shim_.reserve(columns_.num_rows);
+      for (size_t i = 0; i < columns_.num_rows; ++i) {
+        row_shim_.push_back(columns_.MaterializeRow(i));
+      }
+      rows_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return row_shim_;
 }
 
 void Table::AnalyzeStats() const {
@@ -60,35 +238,16 @@ void Table::AnalyzeStats() const {
 }
 
 void Table::AnalyzeStatsLocked() const {
-  stats_.assign(static_cast<size_t>(schema_.num_columns()), ColumnStats{});
-  for (int c = 0; c < schema_.num_columns(); ++c) {
-    ColumnStats& st = stats_[static_cast<size_t>(c)];
-    std::unordered_set<size_t> seen_hashes;
-    // NDV via hash-set of value hashes: exact enough for costing at our
-    // scales and avoids storing full values.
-    bool have_minmax = false;
-    for (const Row& row : rows_) {
-      const Value& v = row[static_cast<size_t>(c)];
-      if (v.is_null()) {
-        ++st.null_count;
-        continue;
-      }
-      seen_hashes.insert(v.Hash());
-      if (!have_minmax) {
-        st.min = v;
-        st.max = v;
-        have_minmax = true;
-      } else {
-        if (v.OrderCompare(st.min) < 0) st.min = v;
-        if (v.OrderCompare(st.max) > 0) st.max = v;
-      }
-    }
-    st.distinct_count = static_cast<int64_t>(seen_hashes.size());
+  stats_.clear();
+  stats_.reserve(columns_.columns.size());
+  for (const ColumnVector& col : columns_.columns) {
+    stats_.push_back(col.typed() ? TypedColumnStats(col)
+                                 : MixedColumnStats(col));
   }
   stats_valid_.store(true, std::memory_order_release);
 }
 
-const std::vector<ColumnStats>& Table::stats() const {
+const std::vector<ColumnStatistics>& Table::stats() const {
   // Double-checked init so concurrent planners never race the compute;
   // the release store above pairs with this acquire load.
   if (!stats_valid_.load(std::memory_order_acquire)) {

@@ -1,4 +1,5 @@
-// In-memory base table with per-column statistics for cost estimation.
+// In-memory base table, column-major, with per-column statistics for
+// cost estimation.
 #ifndef BYPASSDB_CATALOG_TABLE_H_
 #define BYPASSDB_CATALOG_TABLE_H_
 
@@ -9,41 +10,41 @@
 #include <vector>
 
 #include "common/result.h"
+#include "stats/column_stats.h"
+#include "types/column_vector.h"
 #include "types/row.h"
 #include "types/schema.h"
 
 namespace bypass {
 
-/// Simple per-column statistics: row count is table-level; NDV, min and max
-/// drive selectivity estimation (recomputed on demand after loads).
-struct ColumnStats {
-  int64_t distinct_count = 0;
-  Value min;  ///< NULL when the column is all-NULL or table empty
-  Value max;
-  int64_t null_count = 0;
-};
-
-/// A heap of rows with a schema. Row mutation is not thread-safe (loads
-/// never race queries by contract), but the lazily computed statistics
-/// may be demanded by concurrent planning threads, so their
-/// initialization is guarded.
+/// A columnar heap with a schema. Ground truth is the ColumnStore (typed
+/// contiguous columns + null bitmaps); scans borrow the columns directly.
+/// The row API (rows()) survives as a lazily materialized shim for
+/// operators not yet ported to columns. Row mutation is not thread-safe
+/// (loads never race queries by contract), but the lazily computed
+/// statistics and the row shim may be demanded by concurrent planning /
+/// execution threads, so their initialization is guarded.
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema);
 
-  // Movable (the guard mutex stays fresh; moves never race readers by
+  // Movable (the guard mutexes stay fresh; moves never race readers by
   // contract), not copyable.
   Table(Table&& other) noexcept
       : name_(std::move(other.name_)),
         schema_(std::move(other.schema_)),
-        rows_(std::move(other.rows_)),
+        columns_(std::move(other.columns_)),
+        row_shim_(std::move(other.row_shim_)),
+        rows_valid_(other.rows_valid_.load(std::memory_order_relaxed)),
         stats_(std::move(other.stats_)),
         stats_valid_(other.stats_valid_.load(std::memory_order_relaxed)) {}
   Table& operator=(Table&& other) noexcept {
     name_ = std::move(other.name_);
     schema_ = std::move(other.schema_);
-    rows_ = std::move(other.rows_);
+    columns_ = std::move(other.columns_);
+    row_shim_ = std::move(other.row_shim_);
+    rows_valid_.store(other.rows_valid_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     stats_ = std::move(other.stats_);
     stats_valid_.store(other.stats_valid_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
@@ -54,8 +55,18 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Column-major ground truth.
+  const ColumnStore& columns() const { return columns_; }
+
+  /// Row-major view, materialized lazily from the columns on first use
+  /// after a modification (the compatibility shim for row-at-a-time
+  /// consumers). Safe to call from concurrent readers.
+  const std::vector<Row>& rows() const;
+
+  int64_t num_rows() const {
+    return static_cast<int64_t>(columns_.num_rows);
+  }
 
   /// Appends one row after checking arity and types (NULL always allowed).
   Status Append(Row row);
@@ -70,18 +81,25 @@ class Table {
   /// Recomputes column statistics; invoked lazily by stats().
   void AnalyzeStats() const;
 
-  /// Per-column statistics (computed on first use after modification).
-  /// Safe to call from concurrent readers; the first caller computes.
-  const std::vector<ColumnStats>& stats() const;
+  /// Per-column statistics (computed on first use after modification) in
+  /// the stats subsystem's ColumnStatistics shape — the lazy tier fills
+  /// null_count/min/max plus an exact distinct_count and leaves the
+  /// histogram empty (ANALYZE builds the rich tier). Safe to call from
+  /// concurrent readers; the first caller computes.
+  const std::vector<ColumnStatistics>& stats() const;
 
  private:
   void AnalyzeStatsLocked() const;
+  void Invalidate();
 
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  ColumnStore columns_;
+  mutable std::mutex rows_mutex_;
+  mutable std::vector<Row> row_shim_;
+  mutable std::atomic<bool> rows_valid_{false};
   mutable std::mutex stats_mutex_;
-  mutable std::vector<ColumnStats> stats_;
+  mutable std::vector<ColumnStatistics> stats_;
   mutable std::atomic<bool> stats_valid_{false};
 };
 

@@ -157,6 +157,42 @@ class FlatRowMap {
         key, [&] { return std::move(key); }, std::forward<Make>(make));
   }
 
+  /// Int64 fast-path find-or-insert for callers that already hold the raw
+  /// key (typed-column group-by): no Value is touched on the probe, and a
+  /// single-Value key row is materialized only for genuinely new entries.
+  /// An empty table adopts int64 mode; a table already downgraded to
+  /// generic mode routes through the Row path so hashes stay consistent.
+  template <typename Make>
+  V& FindOrEmplaceInt64(int64_t key, bool is_null, Make&& make) {
+    if (entries_.empty() && mode_ == Mode::kUnset) mode_ = Mode::kInt64;
+    if (mode_ != Mode::kInt64) {
+      Row row;
+      row.push_back(is_null ? Value::Null() : Value::Int64(key));
+      return FindOrEmplace(std::move(row), std::forward<Make>(make));
+    }
+    if (slots_.empty()) Rebuild(16);
+    ProbeKey p;
+    p.i64 = key;
+    p.null = is_null;
+    p.hash = is_null ? flat_internal::kNullKeyHash
+                     : flat_internal::HashInt64Key(key);
+    size_t pos = p.hash & mask_;
+    while (true) {
+      const Slot& s = slots_[pos];
+      if (s.idx == kEmpty) break;
+      if (s.hash == p.hash) {
+        const I64Key& e = i64_[s.idx];
+        if (e.null == p.null && (p.null || e.key == p.i64)) {
+          return entries_[s.idx].value;
+        }
+      }
+      pos = (pos + 1) & mask_;
+    }
+    Row row;
+    row.push_back(is_null ? Value::Null() : Value::Int64(key));
+    return InsertEntry(p, std::move(row), make());
+  }
+
   /// Unconditional insert of a key known to be absent (merge paths).
   void EmplaceNew(Row&& key, V&& value) {
     PrepareForInsert(key);

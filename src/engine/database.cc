@@ -192,6 +192,7 @@ Result<QueryResult> PreparedQuery::Execute(
   ctx.set_batch_size(run_options.batch_size);
   ctx.set_morsel_size(run_options.morsel_size);
   ctx.set_num_worker_slots(num_threads);
+  ctx.set_columnar_enabled(run_options.enable_columnar);
   SharedWorkerStats worker_stats;
   if (num_threads > 1) {
     ctx.set_pool(db_->EnsurePool(num_threads));
@@ -211,7 +212,8 @@ Result<QueryResult> PreparedQuery::Execute(
     // (benchmark repetitions must not inherit earlier runs' caches).
     subplan->ClearCache();
     subplan->Configure(deadline, &result.stats, ctx.batch_size(),
-                       worker_stats, num_threads);
+                       worker_stats, num_threads,
+                       run_options.enable_columnar);
   }
 
   const auto exec_start = std::chrono::steady_clock::now();

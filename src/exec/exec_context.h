@@ -36,12 +36,17 @@ struct ExecStats {
   int64_t rows_emitted = 0;
   int64_t subquery_executions = 0;
   int64_t subquery_cache_hits = 0;
+  /// Scan batches emitted with typed columns attached (0 when the
+  /// columnar path is disabled — the row-oracle mode of the
+  /// differential tests and benches).
+  int64_t columnar_batches = 0;
 
   void Add(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
     rows_emitted += other.rows_emitted;
     subquery_executions += other.subquery_executions;
     subquery_cache_hits += other.subquery_cache_hits;
+    columnar_batches += other.columnar_batches;
   }
 };
 
@@ -110,6 +115,13 @@ class ExecContext {
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
+  /// Whether scans attach typed columns to emitted batches, enabling the
+  /// columnar predicate/aggregate kernels. Off = the row-oracle mode the
+  /// columnar differential tests compare against. Set before RunPlan,
+  /// immutable while rows flow.
+  bool columnar_enabled() const { return columnar_enabled_; }
+  void set_columnar_enabled(bool v) { columnar_enabled_ = v; }
+
   /// Rows per morsel handed to a worker in one dispatch.
   size_t morsel_size() const { return morsel_size_; }
   void set_morsel_size(size_t n) {
@@ -149,6 +161,7 @@ class ExecContext {
  private:
   const Row* outer_row_ = nullptr;
   size_t batch_size_ = kDefaultBatchSize;
+  bool columnar_enabled_ = true;
   size_t morsel_size_ = kDefaultMorselSize;
   WorkerPool* pool_ = nullptr;
   int num_worker_slots_ = 1;

@@ -72,14 +72,38 @@ void HashGroupByOp::Reset() {
 
 Status HashGroupByOp::Consume(int, RowBatch batch) {
   Partial& partial = partials_[static_cast<size_t>(CurrentWorkerId())];
+  if (scalar_) {
+    // Scalar aggregation folds the whole batch: columnar-capable
+    // aggregators read raw columns, the rest run row-at-a-time.
+    return partial.scalar->AccumulateBatch(batch, ctx_->outer_row());
+  }
   const size_t n = batch.size();
+  // Single-key grouping over a typed int64 column probes the group map
+  // with the raw key (no Value access on the hit path).
+  if (key_slots_.size() == 1 && batch.columns() != nullptr) {
+    const size_t slot = static_cast<size_t>(key_slots_[0]);
+    if (slot < batch.columns()->columns.size()) {
+      const ColumnVector& col = batch.columns()->columns[slot];
+      if (col.typed() && col.type() == DataType::kInt64) {
+        const int64_t* keys = col.i64_data();
+        const std::vector<uint32_t>& sel = batch.selection();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = sel[i];
+          auto& aggs = partial.groups.FindOrEmplaceInt64(
+              keys[idx], col.IsNull(idx), [&] {
+                return std::make_unique<AggregatorSet>(&aggregates_);
+              });
+          const Row& row = batch.row(i);
+          EvalContext ectx{&row, ctx_->outer_row()};
+          BYPASS_RETURN_IF_ERROR(aggs->Accumulate(ectx));
+        }
+        return Status::OK();
+      }
+    }
+  }
   for (size_t i = 0; i < n; ++i) {
     const Row& row = batch.row(i);
     EvalContext ectx{&row, ctx_->outer_row()};
-    if (scalar_) {
-      BYPASS_RETURN_IF_ERROR(partial.scalar->Accumulate(ectx));
-      continue;
-    }
     auto& aggs = partial.groups.FindOrEmplace(
         RowSlotsRef{&row, &key_slots_},
         [&] { return std::make_unique<AggregatorSet>(&aggregates_); });

@@ -223,19 +223,40 @@ void JoinHashTable::ProbeBatch(const RowBatch& batch,
   scratch->valid.assign(n, 0);
   if (int64_mode_) scratch->int64_keys.resize(n);
 
-  // Pass 1: hash every probe key.
+  // Pass 1: hash every probe key. When the batch carries typed columns
+  // and the single probe slot is a typed int64 column, hash straight off
+  // the raw array + null bitmap — no Value access at all.
   if (int64_mode_) {
     const size_t slot = static_cast<size_t>(probe_slots[0]);
-    for (size_t i = 0; i < n; ++i) {
-      const Value& v = batch.row(i)[slot];
-      int64_t k;
-      bool is_null;
-      if (v.is_null() || !flat_internal::Int64KeyOf(v, &k, &is_null)) {
-        continue;
+    const ColumnVector* col = nullptr;
+    if (batch.columns() != nullptr &&
+        slot < batch.columns()->columns.size()) {
+      const ColumnVector& c = batch.columns()->columns[slot];
+      if (c.typed() && c.type() == DataType::kInt64) col = &c;
+    }
+    if (col != nullptr) {
+      const int64_t* data = col->i64_data();
+      const std::vector<uint32_t>& sel = batch.selection();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t idx = sel[i];
+        if (col->IsNull(idx)) continue;
+        const int64_t k = data[idx];
+        scratch->int64_keys[i] = k;
+        scratch->hashes[i] = flat_internal::HashInt64Key(k);
+        scratch->valid[i] = 1;
       }
-      scratch->int64_keys[i] = k;
-      scratch->hashes[i] = flat_internal::HashInt64Key(k);
-      scratch->valid[i] = 1;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = batch.row(i)[slot];
+        int64_t k;
+        bool is_null;
+        if (v.is_null() || !flat_internal::Int64KeyOf(v, &k, &is_null)) {
+          continue;
+        }
+        scratch->int64_keys[i] = k;
+        scratch->hashes[i] = flat_internal::HashInt64Key(k);
+        scratch->valid[i] = 1;
+      }
     }
   } else {
     for (size_t i = 0; i < n; ++i) {

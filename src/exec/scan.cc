@@ -5,22 +5,31 @@
 namespace bypass {
 
 Status TableScanOp::RunMorsel(size_t begin, size_t end) {
+  // Columnar scans attach the table's typed columns to every emitted
+  // batch; the materialized row shim still backs the row(i) API for
+  // operators not yet ported to columns.
   const std::vector<Row>& rows = table_->rows();
+  const ColumnStore* columns =
+      ctx_->columnar_enabled() ? &table_->columns() : nullptr;
   for (size_t b = begin; b < end; b += batch_size()) {
     if (ctx_->cancelled()) break;
     BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
     const size_t batch_end = std::min(b + batch_size(), end);
     if (ExecStats* stats = ctx_->stats(); stats != nullptr) {
       stats->rows_scanned += static_cast<int64_t>(batch_end - b);
+      if (columns != nullptr) ++stats->columnar_batches;
     }
-    BYPASS_RETURN_IF_ERROR(
-        Emit(kPortOut, RowBatch::Borrowed(&rows, b, batch_end)));
+    RowBatch batch =
+        columns != nullptr
+            ? RowBatch::BorrowedColumnar(columns, &rows, b, batch_end)
+            : RowBatch::Borrowed(&rows, b, batch_end);
+    BYPASS_RETURN_IF_ERROR(Emit(kPortOut, std::move(batch)));
   }
   return Status::OK();
 }
 
 Status TableScanOp::Run() {
-  BYPASS_RETURN_IF_ERROR(RunMorsel(0, table_->rows().size()));
+  BYPASS_RETURN_IF_ERROR(RunMorsel(0, num_rows()));
   return FinishSource();
 }
 

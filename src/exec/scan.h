@@ -29,7 +29,9 @@ class TableScanOp : public UnaryPhysOp {
   Status FinishSource() { return EmitFinish(kPortOut); }
 
   /// Table cardinality, for the executor's morsel splitter.
-  size_t num_rows() const { return table_->rows().size(); }
+  size_t num_rows() const {
+    return static_cast<size_t>(table_->num_rows());
+  }
 
   /// The scanned table's name, for runtime cardinality feedback.
   const std::string& table_name() const { return table_->name(); }

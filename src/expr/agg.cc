@@ -1,6 +1,7 @@
 #include "expr/agg.h"
 
 #include "common/check.h"
+#include "expr/column_kernels.h"
 
 namespace bypass {
 
@@ -67,6 +68,110 @@ Status Aggregator::Accumulate(const EvalContext& ctx) {
     if (!distinct_.Insert(Row{v})) return Status::OK();
   }
   return AccumulateValue(v, *ctx.row);
+}
+
+bool Aggregator::AccumulateColumnar(const RowBatch& batch) {
+  if (spec_->distinct) return false;
+  if (spec_->arg == nullptr) {
+    // COUNT(*): every selected row counts; no data access at all.
+    count_ += static_cast<int64_t>(batch.size());
+    return true;
+  }
+  ColumnOperand operand;
+  if (!ResolveColumnOperand(*spec_->arg, batch, /*outer_row=*/nullptr,
+                            &operand) ||
+      operand.column == nullptr) {
+    return false;
+  }
+  const ColumnVector& col = *operand.column;
+  const std::vector<uint32_t>& sel = batch.selection();
+  const size_t n = sel.size();
+  switch (spec_->func) {
+    case AggFunc::kCount: {
+      if (!col.has_nulls()) {
+        count_ += static_cast<int64_t>(n);
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (!col.IsNull(sel[i])) ++count_;
+        }
+      }
+      return true;
+    }
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (col.type() == DataType::kInt64) {
+        const int64_t* data = col.i64_data();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = sel[i];
+          if (col.IsNull(idx)) continue;
+          ++count_;
+          int_sum_ += data[idx];
+          double_sum_ += static_cast<double>(data[idx]);
+        }
+        return true;
+      }
+      if (col.type() == DataType::kDouble) {
+        const double* data = col.f64_data();
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = sel[i];
+          if (col.IsNull(idx)) continue;
+          ++count_;
+          sum_is_double_ = true;
+          double_sum_ += data[idx];
+        }
+        return true;
+      }
+      // bool/string columns: let the row path raise the SQL type error.
+      return false;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool is_min = spec_->func == AggFunc::kMin;
+      if (col.type() == DataType::kInt64) {
+        if (!extreme_.is_null() && !extreme_.is_int64()) return false;
+        const int64_t* data = col.i64_data();
+        bool has = !extreme_.is_null();
+        int64_t best = has ? extreme_.int64_value() : 0;
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = sel[i];
+          if (col.IsNull(idx)) continue;
+          const int64_t v = data[idx];
+          if (!has) {
+            has = true;
+            best = v;
+          } else if (is_min ? v < best : v > best) {
+            best = v;
+          }
+        }
+        if (has) extreme_ = Value::Int64(best);
+        return true;
+      }
+      if (col.type() == DataType::kDouble) {
+        if (!extreme_.is_null() && !extreme_.is_double()) return false;
+        const double* data = col.f64_data();
+        bool has = !extreme_.is_null();
+        double best = has ? extreme_.double_value() : 0;
+        // Raw </> replicates OrderCompare's CompareDoubles fold exactly,
+        // including its NaN-compares-equal behaviour, because the
+        // elements are visited in the same sequential order.
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t idx = sel[i];
+          if (col.IsNull(idx)) continue;
+          const double v = data[idx];
+          if (!has) {
+            has = true;
+            best = v;
+          } else if (is_min ? v < best : v > best) {
+            best = v;
+          }
+        }
+        if (has) extreme_ = Value::Double(best);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
 }
 
 Status Aggregator::AccumulateValue(const Value& v, const Row&) {
@@ -169,6 +274,24 @@ void AggregatorSet::Reset() {
 Status AggregatorSet::Accumulate(const EvalContext& ctx) {
   for (Aggregator& a : aggs_) {
     BYPASS_RETURN_IF_ERROR(a.Accumulate(ctx));
+  }
+  return Status::OK();
+}
+
+Status AggregatorSet::AccumulateBatch(const RowBatch& batch,
+                                      const Row* outer_row) {
+  std::vector<Aggregator*> fallback;
+  for (Aggregator& a : aggs_) {
+    if (!a.AccumulateColumnar(batch)) fallback.push_back(&a);
+  }
+  if (fallback.empty()) return Status::OK();
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = batch.row(i);
+    EvalContext ectx{&row, outer_row};
+    for (Aggregator* a : fallback) {
+      BYPASS_RETURN_IF_ERROR(a->Accumulate(ectx));
+    }
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include "common/flat_table.h"
 #include "expr/expr.h"
 #include "types/row.h"
+#include "types/row_batch.h"
 #include "types/value.h"
 
 namespace bypass {
@@ -53,6 +54,14 @@ class Aggregator {
   /// Folds in one input tuple; evaluates the argument against `ctx`.
   Status Accumulate(const EvalContext& ctx);
 
+  /// Columnar batch fold: consumes the whole batch off the raw column
+  /// when the spec is a non-DISTINCT aggregate whose argument is a typed
+  /// column of the batch (COUNT over any type, SUM/AVG/MIN/MAX over
+  /// numeric columns). Returns false when the fast path does not apply —
+  /// the caller then uses per-row Accumulate for this batch. Element
+  /// order is preserved, so float sums are bit-identical to the row path.
+  bool AccumulateColumnar(const RowBatch& batch);
+
   /// Folds another accumulator for the same spec into this one. Used to
   /// combine per-worker partial aggregates; for DISTINCT aggregates only
   /// entries not yet in this accumulator's dedup set are re-applied.
@@ -79,6 +88,10 @@ class AggregatorSet {
   explicit AggregatorSet(const std::vector<AggregateSpec>* specs);
   void Reset();
   Status Accumulate(const EvalContext& ctx);
+  /// Folds a whole batch: aggregators with a columnar fast path consume
+  /// the raw columns; the rest share one row-at-a-time pass. Equivalent
+  /// to calling Accumulate per selected row.
+  Status AccumulateBatch(const RowBatch& batch, const Row* outer_row);
   /// Merges a partial AggregatorSet built from the same spec list.
   Status Merge(const AggregatorSet& other);
   /// Appends one finalized value per spec to `out`.

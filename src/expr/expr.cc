@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "expr/column_kernels.h"
 
 namespace bypass {
 
@@ -186,6 +187,16 @@ bool ResolveFastOperand(const Expr& e, const Row* outer_row,
 Status ComparisonExpr::EvalBatch(const RowBatch& batch,
                                  const Row* outer_row,
                                  std::vector<Value>* out) const {
+  // Columnar kernel: one branch on (op, column type) per batch, raw
+  // column data + null bitmaps per element.
+  if (batch.columns() != nullptr) {
+    ColumnOperand cl, cr;
+    if (ResolveColumnOperand(*left_, batch, outer_row, &cl) &&
+        ResolveColumnOperand(*right_, batch, outer_row, &cr) &&
+        ColumnarCompareEval(op_, cl, cr, batch, out)) {
+      return Status::OK();
+    }
+  }
   const size_t n = batch.size();
   FastOperand lop, rop;
   if (ResolveFastOperand(*left_, outer_row, &lop) &&
@@ -220,6 +231,17 @@ Status ComparisonExpr::PartitionBatch(const RowBatch& batch,
                                       std::vector<uint32_t>* sel_true,
                                       std::vector<uint32_t>* sel_false,
                                       std::vector<uint32_t>* sel_null) const {
+  // Fused columnar bypass-partition kernel: typed comparison and σ± split
+  // in one pass over raw column data, no Value materialization.
+  if (batch.columns() != nullptr) {
+    ColumnOperand cl, cr;
+    if (ResolveColumnOperand(*left_, batch, outer_row, &cl) &&
+        ResolveColumnOperand(*right_, batch, outer_row, &cr) &&
+        ColumnarComparePartition(op_, cl, cr, batch, sel_true, sel_false,
+                                 sel_null)) {
+      return Status::OK();
+    }
+  }
   FastOperand lop, rop;
   if (!ResolveFastOperand(*left_, outer_row, &lop) ||
       !ResolveFastOperand(*right_, outer_row, &rop)) {
@@ -419,6 +441,16 @@ Result<Value> ArithmeticExpr::Eval(const EvalContext& ctx) const {
 Status ArithmeticExpr::EvalBatch(const RowBatch& batch,
                                  const Row* outer_row,
                                  std::vector<Value>* out) const {
+  if (batch.columns() != nullptr) {
+    ColumnOperand cl, cr;
+    if (ResolveColumnOperand(*left_, batch, outer_row, &cl) &&
+        ResolveColumnOperand(*right_, batch, outer_row, &cr)) {
+      if (auto st = ColumnarArithmeticEval(op_, cl, cr, batch, ToString(),
+                                           out)) {
+        return *st;
+      }
+    }
+  }
   std::vector<Value> l, r;
   BYPASS_RETURN_IF_ERROR(left_->EvalBatch(batch, outer_row, &l));
   BYPASS_RETURN_IF_ERROR(right_->EvalBatch(batch, outer_row, &r));
@@ -527,6 +559,26 @@ Result<Value> IsNullExpr::Eval(const EvalContext& ctx) const {
 
 Status IsNullExpr::EvalBatch(const RowBatch& batch, const Row* outer_row,
                              std::vector<Value>* out) const {
+  // Columnar path: IS [NOT] NULL over a typed column is a pure bitmap
+  // read; over a batch-constant it is one test for the whole batch.
+  ColumnOperand operand;
+  if (batch.columns() != nullptr &&
+      ResolveColumnOperand(*input_, batch, outer_row, &operand)) {
+    const size_t n = batch.size();
+    out->reserve(out->size() + n);
+    if (operand.column == nullptr) {
+      out->insert(out->end(), n,
+                  Value::Bool(negated_ ? !operand.constant->is_null()
+                                       : operand.constant->is_null()));
+      return Status::OK();
+    }
+    const ColumnVector& col = *operand.column;
+    for (uint32_t idx : batch.selection()) {
+      const bool is_null = col.IsNull(idx);
+      out->push_back(Value::Bool(negated_ ? !is_null : is_null));
+    }
+    return Status::OK();
+  }
   std::vector<Value> vals;
   BYPASS_RETURN_IF_ERROR(input_->EvalBatch(batch, outer_row, &vals));
   out->reserve(out->size() + vals.size());

@@ -23,9 +23,9 @@ class Estimator : public StatsProvider {
   /// StatsProvider over the base tables seen so far (children are
   /// estimated before their parents' predicates, so a selection's scans
   /// are registered by the time its selectivity is computed).
-  const ColumnStats* GetColumnStats(const std::string& qualifier,
-                                    const std::string& name,
-                                    int64_t* rows) const override {
+  const ColumnStatistics* GetColumnStats(const std::string& qualifier,
+                                         const std::string& name,
+                                         int64_t* rows) const override {
     const auto it = alias_tables_.find(qualifier);
     if (it == alias_tables_.end()) return nullptr;
     const Table* table = it->second;

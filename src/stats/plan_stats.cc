@@ -30,7 +30,7 @@ const PlanStatsProvider::Entry* PlanStatsProvider::Resolve(
   return it == aliases_.end() ? nullptr : &it->second;
 }
 
-const ColumnStats* PlanStatsProvider::GetColumnStats(
+const ColumnStatistics* PlanStatsProvider::GetColumnStats(
     const std::string& qualifier, const std::string& name,
     int64_t* rows) const {
   const Entry* entry = Resolve(qualifier);

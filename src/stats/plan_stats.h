@@ -25,9 +25,9 @@ class PlanStatsProvider : public StatsProvider {
   /// Registers further aliases from another plan fragment.
   void AddPlan(const LogicalOpPtr& root);
 
-  const ColumnStats* GetColumnStats(const std::string& qualifier,
-                                    const std::string& name,
-                                    int64_t* rows) const override;
+  const ColumnStatistics* GetColumnStats(const std::string& qualifier,
+                                         const std::string& name,
+                                         int64_t* rows) const override;
 
   const ColumnStatistics* GetColumnStatistics(
       const std::string& qualifier, const std::string& name,

@@ -77,7 +77,7 @@ std::optional<double> HistogramSelectivity(const ColumnStatistics& column,
 
 /// Lazy-tier estimate (min/max interpolation + NDV); the pre-ANALYZE
 /// behaviour.
-std::optional<double> LazySelectivity(const ColumnStats& column,
+std::optional<double> LazySelectivity(const ColumnStatistics& column,
                                       int64_t rows, CompareOp op,
                                       const Value& value) {
   if (rows <= 0) return 0.0;
@@ -126,7 +126,7 @@ std::optional<double> StatsComparisonSelectivity(
     }
   }
   rows = 0;
-  const ColumnStats* lazy = stats.GetColumnStats(
+  const ColumnStatistics* lazy = stats.GetColumnStats(
       match->column->qualifier(), match->column->name(), &rows);
   if (lazy == nullptr) return std::nullopt;
   return LazySelectivity(*lazy, rows, match->op, *match->value);
@@ -144,7 +144,7 @@ std::optional<double> StatsNullFraction(const Expr& input,
     return rich->NullFraction(rows);
   }
   rows = 0;
-  if (const ColumnStats* lazy =
+  if (const ColumnStatistics* lazy =
           stats.GetColumnStats(ref.qualifier(), ref.name(), &rows)) {
     if (rows <= 0) return 0.0;
     return static_cast<double>(lazy->null_count) /

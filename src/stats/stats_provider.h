@@ -1,10 +1,10 @@
 // StatsProvider: the estimator's view onto column statistics, decoupled
-// from where they live. Two tiers: GetColumnStats serves the lazy
-// min/max/NDV summaries every in-memory table can produce on demand;
-// GetColumnStatistics serves the rich ANALYZE-built statistics
-// (HyperLogLog distinct counts, equi-depth histograms) stored in the
-// Catalog. Estimators prefer the rich tier and fall back tier by tier to
-// textbook constants.
+// from where they live. Two tiers sharing one ColumnStatistics shape:
+// GetColumnStats serves the lazy min/max/NDV summaries every in-memory
+// table can produce on demand (histogram left empty); GetColumnStatistics
+// serves the rich ANALYZE-built statistics (HyperLogLog distinct counts,
+// equi-depth histograms) stored in the Catalog. Estimators prefer the
+// rich tier and fall back tier by tier to textbook constants.
 #ifndef BYPASSDB_STATS_STATS_PROVIDER_H_
 #define BYPASSDB_STATS_STATS_PROVIDER_H_
 
@@ -22,9 +22,11 @@ class StatsProvider {
 
   /// Lazy statistics of `qualifier.name`, or nullptr when unknown.
   /// `rows` receives the owning table's cardinality when non-null.
-  virtual const ColumnStats* GetColumnStats(const std::string& qualifier,
-                                            const std::string& name,
-                                            int64_t* rows) const = 0;
+  /// Served in the same ColumnStatistics shape as the rich tier (the
+  /// lazy tier leaves the histogram empty).
+  virtual const ColumnStatistics* GetColumnStats(
+      const std::string& qualifier, const std::string& name,
+      int64_t* rows) const = 0;
 
   /// ANALYZE-built statistics for the same column, or nullptr when the
   /// table was never analyzed (callers then fall back to the lazy tier).

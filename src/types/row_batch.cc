@@ -26,10 +26,19 @@ RowBatch RowBatch::Borrowed(const std::vector<Row>* storage, size_t begin,
   return batch;
 }
 
+RowBatch RowBatch::BorrowedColumnar(const ColumnStore* columns,
+                                    const std::vector<Row>* storage,
+                                    size_t begin, size_t end) {
+  RowBatch batch = Borrowed(storage, begin, end);
+  batch.columns_ = columns;
+  return batch;
+}
+
 RowBatch RowBatch::ShareWithSelection(std::vector<uint32_t> sel) const {
   RowBatch view;
   view.owned_ = owned_;
   view.storage_ = storage_;
+  view.columns_ = columns_;
   view.sel_ = std::move(sel);
   return view;
 }

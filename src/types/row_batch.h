@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "types/column_vector.h"
 #include "types/row.h"
 
 namespace bypass {
@@ -30,6 +31,19 @@ class RowBatch {
   /// (e.g. a table's row vector); rows [begin, end) selected.
   static RowBatch Borrowed(const std::vector<Row>* storage, size_t begin,
                            size_t end);
+
+  /// Zero-copy columnar view: like Borrowed, but additionally carries the
+  /// table's typed columns so predicate/aggregate kernels can read raw
+  /// column data. `storage` is the table's materialized row shim backing
+  /// the row(i) API for operators not yet ported; selection indices are
+  /// shared between the two representations.
+  static RowBatch BorrowedColumnar(const ColumnStore* columns,
+                                   const std::vector<Row>* storage,
+                                   size_t begin, size_t end);
+
+  /// Typed columns backing this batch, or nullptr for row-only batches.
+  /// Selection-vector entries index both columns and row storage.
+  const ColumnStore* columns() const { return columns_; }
 
   /// Number of selected rows.
   size_t size() const { return sel_.size(); }
@@ -51,6 +65,12 @@ class RowBatch {
   /// (sel[i] == sel[0] + i), as produced by scans and fresh
   /// materializations. Hot loops use it to index storage directly.
   bool dense() const { return dense_; }
+
+  /// Re-asserts density after a mutation that provably kept the selection
+  /// a contiguous run (e.g. a filter that dropped no rows). The non-const
+  /// selection() accessor conservatively clears the flag; callers that
+  /// preserved contiguity restore the fast path with this.
+  void MarkDense() { dense_ = true; }
 
   /// Storage row by storage index (an entry of selection()).
   const Row& storage_row(uint32_t storage_idx) const {
@@ -85,6 +105,7 @@ class RowBatch {
  private:
   std::shared_ptr<std::vector<Row>> owned_;
   const std::vector<Row>* storage_ = nullptr;
+  const ColumnStore* columns_ = nullptr;
   std::vector<uint32_t> sel_;
   bool dense_ = false;
 };
