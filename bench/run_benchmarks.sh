@@ -4,13 +4,16 @@
 # sweep), and the Q2d end-to-end harness (median-of-5 each), plus a
 # thread-scaling curve for the morsel-parallel executor and the
 # statistics-subsystem sweep (cost-based pick accuracy across disjunct
-# skews, ANALYZE overhead, post-ANALYZE q-error), and the paired
-# row-vs-columnar kernel microbenchmarks, and writes BENCH_PR5.json.
-# Prior PR reports (BENCH_PR1..4.json) are never overwritten: each PR
-# writes its own file so the history stays comparable side by side.
+# skews, ANALYZE overhead, post-ANALYZE q-error), the paired
+# row-vs-columnar kernel microbenchmarks, and the k-way tagged execution
+# sweep (one BypassPartition±[k] pass vs the Eqv. 2 / Eqv. 3 σ± cascades
+# across 3..5-way mixed-selectivity disjunctions, plus the cost-based
+# auto-pick probe), and writes BENCH_PR6.json. Prior PR reports
+# (BENCH_PR1..5.json) are never overwritten: each PR writes its own file
+# so the history stays comparable side by side.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR5.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR6.json)
 #
 # Every report embeds environment metadata — host CPU count plus the
 # compiler and flags captured in <build-dir>/build_info.json at configure
@@ -26,15 +29,17 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR5.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR6.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 HASH=${BUILD_DIR}/bench/bench_hash
 COL=${BUILD_DIR}/bench/bench_columnar
+TAGGED=${BUILD_DIR}/bench/bench_tagged
 Q2D=${BUILD_DIR}/bench/bench_q2d
 STATS=${BUILD_DIR}/bench/bench_stats
 BUILD_INFO=${BUILD_DIR}/build_info.json
 
-[[ -x ${OPS} && -x ${HASH} && -x ${COL} && -x ${Q2D} && -x ${STATS} ]] || {
+[[ -x ${OPS} && -x ${HASH} && -x ${COL} && -x ${TAGGED} && -x ${Q2D} &&
+   -x ${STATS} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -56,6 +61,23 @@ COL_JSON=$(mktemp)
 "${COL}" --benchmark_repetitions=5 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json 2>/dev/null >"${COL_JSON}"
+
+echo "== bench_tagged (median of 5 interleaved repetitions) =="
+TAGGED_JSON=$(mktemp)
+# Random interleaving: the tagged-vs-cascade deltas are a few percent at
+# the default batch size, so repetitions of different strategies are
+# shuffled against machine drift instead of run back-to-back.
+"${TAGGED}" --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_format=json 2>/dev/null >"${TAGGED_JSON}"
+
+echo "== bench_tagged --assert-tagged (cost-based auto-pick probe) =="
+if "${TAGGED}" --assert-tagged; then
+  TAGGED_AUTOPICK=true
+else
+  TAGGED_AUTOPICK=false
+fi
 
 echo "== bench_q2d --quick (5 runs) =="
 Q2D_TXT=$(mktemp)
@@ -79,13 +101,14 @@ STATS_JSON=$(mktemp)
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
-  "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" "${COL_JSON}" <<'EOF'
+  "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" "${COL_JSON}" \
+  "${TAGGED_JSON}" "${TAGGED_AUTOPICK}" <<'EOF'
 import json
 import statistics
 import sys
 
 (ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json, hash_json,
- build_info, col_json) = sys.argv[1:10]
+ build_info, col_json, tagged_json, tagged_autopick) = sys.argv[1:12]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -103,11 +126,12 @@ except (OSError, json.JSONDecodeError):
     # Pre-refresh build dir: metadata appears after the next cmake run.
     env_meta["compiler"] = "unknown (re-run cmake for build_info.json)"
 
-report = {"benchmark": "BENCH_PR5", "protocol": "median-of-5",
+report = {"benchmark": "BENCH_PR6", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
           "environment": env_meta,
           "operators": {}, "bypass_select_thread_scaling": {},
           "hash_tables": {}, "columnar_kernels": {},
+          "tagged_kway": {},
           "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
           "stats_subsystem": {}}
 
@@ -182,6 +206,57 @@ report["columnar_kernels"]["bypass_partition_double"] = columnar_pair(
     "BM_RowPartitionDouble", "BM_ColumnarPartitionDouble")
 report["columnar_kernels"]["aggregate_sum_min"] = columnar_pair(
     "BM_RowAggregate", "BM_ColumnarAggregate")
+
+# K-way tagged execution: every strategy runs the identical RST
+# COUNT(*) query with k leading simple disjuncts (mixed selectivities)
+# ahead of a scalar subquery disjunct — the tagged plan replaces the k
+# chained σ± selections with one BypassPartition±[k] pass — across two
+# executor batch sizes (the saved per-pass overhead scales with the
+# number of batch hand-offs). The headline number per cell is the tagged
+# median vs the BEST cascade (min over simple-first / by-rank /
+# subquery-first), so the win cannot come from a strawman ordering;
+# costbased_auto_pick records the --assert-tagged probe.
+tagged_medians = {}
+tagged_rows = {}
+with open(tagged_json) as f:
+    for b in json.load(f)["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        name, k, bs = b["run_name"].rsplit("/", 2)
+        cell = (int(k), int(bs))
+        tagged_medians.setdefault(cell, {})[name] = round(
+            b["real_time"] / 1e6, 3)
+        if "result_rows" in b:
+            tagged_rows.setdefault(cell, {})[name] = int(
+                b["result_rows"])
+
+CASCADES = {"BM_CascadeSimpleFirst": "cascade_simple_first",
+            "BM_CascadeByRank": "cascade_by_rank",
+            "BM_CascadeSubqueryFirst": "cascade_subquery_first"}
+tagged_report = {"costbased_auto_pick": tagged_autopick == "true"}
+for (k, bs) in sorted(tagged_medians):
+    medians = tagged_medians[(k, bs)]
+    entry = {"simple_disjuncts": k, "total_disjuncts": k + 1,
+             "batch_size": bs,
+             "count_star": tagged_rows.get((k, bs), {}).get(
+                 "BM_TaggedPartition")}
+    tagged_ms = medians.get("BM_TaggedPartition")
+    entry["tagged_median_ms"] = tagged_ms
+    cascade_ms = {label: medians[name]
+                  for name, label in CASCADES.items() if name in medians}
+    entry.update({f"{label}_median_ms": ms
+                  for label, ms in cascade_ms.items()})
+    if tagged_ms and cascade_ms:
+        best_label, best_ms = min(cascade_ms.items(), key=lambda kv: kv[1])
+        entry["best_cascade"] = best_label
+        entry["speedup_tagged_vs_best_cascade"] = round(
+            best_ms / tagged_ms, 2)
+    if "BM_CostBasedAuto" in medians:
+        entry["cost_based_median_ms"] = medians["BM_CostBasedAuto"]
+    counts = set(tagged_rows.get((k, bs), {}).values())
+    entry["result_agrees"] = len(counts) <= 1
+    tagged_report[f"disjuncts_{k + 1}_batch_{bs}"] = entry
+report["tagged_kway"] = tagged_report
 
 # The statistics sweep emits its JSON directly (pick accuracy per
 # policy, per-skew timings, ANALYZE overhead, post-ANALYZE q-error).

@@ -10,9 +10,10 @@ set -euo pipefail
 BUILD_DIR=${1:-build}
 BIN=${BUILD_DIR}/bench
 
-for b in bench_operators bench_hash bench_columnar bench_q1 bench_q2corr \
-         bench_q2d bench_q3_tree bench_q4_linear bench_quantified \
-         bench_select_clause bench_ablation_rank bench_stats; do
+for b in bench_operators bench_hash bench_columnar bench_tagged bench_q1 \
+         bench_q2corr bench_q2d bench_q3_tree bench_q4_linear \
+         bench_quantified bench_select_clause bench_ablation_rank \
+         bench_stats; do
   [[ -x ${BIN}/${b} ]] || {
     echo "missing bench binary ${BIN}/${b} — build first" >&2
     exit 1
@@ -37,6 +38,16 @@ run "${BIN}/bench_columnar" --benchmark_min_time=0.01 \
 # columns (ExecStats::columnar_batches > 0) and report none when the
 # option is off. Exits nonzero on failure.
 run "${BIN}/bench_columnar" --assert-columnar
+
+run "${BIN}/bench_tagged" --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_TaggedPartition/3/1$|BM_CascadeSimpleFirst/3/1024$'
+
+# Tagged plumbing assertion: on a ≥3-disjunct mixed-selectivity query the
+# cost-based optimizer must pick the k-way tagged plan on its own, the
+# executor must report tagged batches routing every base row to exactly
+# one stream, and the cascade control must report none. Exits nonzero on
+# failure.
+run "${BIN}/bench_tagged" --assert-tagged
 
 # Paper-table harnesses: smallest grid, tiny data, short per-cell budget.
 run "${BIN}/bench_q1" --quick --rows-per-sf=20 --timeout=10

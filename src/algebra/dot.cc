@@ -22,6 +22,7 @@ const char* NodeShape(LogicalOpKind kind) {
     case LogicalOpKind::kGet:
       return "cylinder";
     case LogicalOpKind::kBypassSelect:
+    case LogicalOpKind::kBypassPartition:
     case LogicalOpKind::kBypassJoin:
       return "diamond";
     case LogicalOpKind::kUnion:
@@ -57,6 +58,17 @@ std::string PlanToDot(const LogicalOp& root,
         const bool negative = in.port == StreamPort::kNegative;
         os << " [label=\"" << (negative ? "-" : "+") << "\""
            << (negative ? ", style=dashed" : "") << "]";
+      } else if (in.op->kind() == LogicalOpKind::kBypassPartition) {
+        const auto* part =
+            static_cast<const BypassPartitionOp*>(in.op.get());
+        const int p = static_cast<int>(in.port);
+        const bool rest =
+            p == static_cast<int>(part->predicates().size());
+        if (rest) {
+          os << " [label=\"rest\", style=dashed]";
+        } else {
+          os << " [label=\"t" << p << "\"]";
+        }
       }
       os << ";\n";
     }

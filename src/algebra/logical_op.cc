@@ -35,6 +35,8 @@ const char* LogicalOpKindToString(LogicalOpKind kind) {
       return "UnionAll";
     case LogicalOpKind::kBypassSelect:
       return "BypassSelect";
+    case LogicalOpKind::kBypassPartition:
+      return "BypassPartition";
     case LogicalOpKind::kBypassJoin:
       return "BypassJoin";
     case LogicalOpKind::kNumbering:
@@ -187,6 +189,34 @@ std::string BypassSelectOp::Label() const {
 LogicalOpPtr BypassSelectOp::CloneNode(std::vector<LogicalInput> in) const {
   return std::make_shared<BypassSelectOp>(std::move(in[0]),
                                           predicate_->Clone());
+}
+
+// ------------------------------------------------------- BypassPartition
+
+BypassPartitionOp::BypassPartitionOp(LogicalInput input,
+                                     std::vector<ExprPtr> predicates)
+    : LogicalOp({std::move(input)}, Schema()),
+      predicates_(std::move(predicates)) {
+  BYPASS_CHECK_MSG(!predicates_.empty(),
+                   "bypass partition needs at least one disjunct");
+  schema_ = input_schema(0);
+}
+
+std::string BypassPartitionOp::Label() const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates_.size());
+  for (const ExprPtr& p : predicates_) parts.push_back(p->ToString());
+  return "BypassPartition±[k=" + std::to_string(predicates_.size()) +
+         "] " + Join(parts, " | ");
+}
+
+LogicalOpPtr BypassPartitionOp::CloneNode(
+    std::vector<LogicalInput> in) const {
+  std::vector<ExprPtr> preds;
+  preds.reserve(predicates_.size());
+  for (const ExprPtr& p : predicates_) preds.push_back(p->Clone());
+  return std::make_shared<BypassPartitionOp>(std::move(in[0]),
+                                             std::move(preds));
 }
 
 // ---------------------------------------------------------------- Project
@@ -453,15 +483,22 @@ LogicalOpPtr BinaryGroupByOp::CloneNode(
 // ------------------------------------------------------------------ Union
 
 UnionOp::UnionOp(LogicalInput left, LogicalInput right)
-    : LogicalOp({std::move(left), std::move(right)}, Schema()) {
-  BYPASS_CHECK_MSG(
-      input_schema(0).num_columns() == input_schema(1).num_columns(),
-      "union inputs must have equal arity");
+    : UnionOp(std::vector<LogicalInput>{std::move(left),
+                                        std::move(right)}) {}
+
+UnionOp::UnionOp(std::vector<LogicalInput> inputs)
+    : LogicalOp(std::move(inputs), Schema()) {
+  BYPASS_CHECK_MSG(!inputs_.empty(), "union needs at least one input");
+  for (size_t i = 1; i < inputs_.size(); ++i) {
+    BYPASS_CHECK_MSG(input_schema(0).num_columns() ==
+                         input_schema(static_cast<int>(i)).num_columns(),
+                     "union inputs must have equal arity");
+  }
   schema_ = input_schema(0);
 }
 
 LogicalOpPtr UnionOp::CloneNode(std::vector<LogicalInput> in) const {
-  return std::make_shared<UnionOp>(std::move(in[0]), std::move(in[1]));
+  return std::make_shared<UnionOp>(std::move(in));
 }
 
 // -------------------------------------------------------------- Numbering
@@ -535,7 +572,17 @@ struct PrintState {
 void PrintNode(const LogicalOp* node, StreamPort port, int indent,
                PrintState* state, std::ostringstream* os) {
   for (int i = 0; i < indent; ++i) *os << "  ";
-  if (port == StreamPort::kNegative) {
+  if (node->kind() == LogicalOpKind::kBypassPartition) {
+    // Multiway streams: [t<i>] = disjunct i's tagged stream,
+    // [rest] = the all-false/unknown remainder.
+    const auto* part = static_cast<const BypassPartitionOp*>(node);
+    const int p = static_cast<int>(port);
+    if (p == static_cast<int>(part->predicates().size())) {
+      *os << "[rest] ";
+    } else {
+      *os << "[t" << p << "] ";
+    }
+  } else if (port == StreamPort::kNegative) {
     *os << "[-] ";
   } else if (state->shared_ids.count(node) > 0) {
     *os << "[+] ";

@@ -22,10 +22,12 @@ namespace bypass {
 class LogicalOp;
 using LogicalOpPtr = std::shared_ptr<LogicalOp>;
 
-/// Output stream selector. Non-bypass operators only have kOut.
+/// Output stream selector. Non-bypass operators only have kOut. The
+/// k-way bypass partition exposes k+1 streams addressed by plain index
+/// (static_cast<StreamPort>(i)); named values cover the binary cases.
 enum class StreamPort : int {
-  kOut = 0,       ///< the (positive) output
-  kNegative = 1,  ///< bypass operators' complement stream
+  kOut = 0,       ///< the (positive / first tagged) output
+  kNegative = 1,  ///< binary bypass operators' complement stream
 };
 
 /// An edge in the plan DAG: a child operator plus which of its output
@@ -49,6 +51,7 @@ enum class LogicalOpKind {
   kBinaryGroupBy,
   kUnion,
   kBypassSelect,
+  kBypassPartition,
   kBypassJoin,
   kNumbering,
   kSort,
@@ -173,6 +176,34 @@ class BypassSelectOp : public LogicalOp {
 
  private:
   ExprPtr predicate_;
+};
+
+/// K-way tagged bypass partition σ±_{p1|...|pk}: one node splits its
+/// input into k+1 streams. Stream i < k carries the tuples whose *first*
+/// TRUE disjunct is p_{i+1} (the tag set of tagged execution); stream k
+/// carries the remainder, on which every disjunct was false or unknown.
+/// Equivalent to a cascade of k bypass selections over the same ordered
+/// disjuncts. All streams share the input schema.
+class BypassPartitionOp : public LogicalOp {
+ public:
+  BypassPartitionOp(LogicalInput input, std::vector<ExprPtr> predicates);
+  LogicalOpKind kind() const override {
+    return LogicalOpKind::kBypassPartition;
+  }
+  const std::vector<ExprPtr>& predicates() const { return predicates_; }
+  /// The tagged stream of disjunct i (i < predicates().size()).
+  StreamPort stream(size_t i) const { return static_cast<StreamPort>(i); }
+  /// The remainder stream (port k).
+  StreamPort remainder() const {
+    return static_cast<StreamPort>(predicates_.size());
+  }
+  std::string Label() const override;
+
+ protected:
+  LogicalOpPtr CloneNode(std::vector<LogicalInput> in) const override;
+
+ private:
+  std::vector<ExprPtr> predicates_;
 };
 
 /// Projection Π. Duplicate-preserving; pair with DistinctOp for Π^D.
@@ -380,6 +411,9 @@ class BinaryGroupByOp : public LogicalOp {
 class UnionOp : public LogicalOp {
  public:
   UnionOp(LogicalInput left, LogicalInput right);
+  /// N-ary form (n >= 1): one union node re-unites all k+1 streams of a
+  /// k-way bypass partition instead of a chain of binary unions.
+  explicit UnionOp(std::vector<LogicalInput> inputs);
   LogicalOpKind kind() const override { return LogicalOpKind::kUnion; }
   std::string Label() const override { return "UnionAll"; }
 

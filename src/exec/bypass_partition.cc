@@ -1,0 +1,153 @@
+#include "exec/bypass_partition.h"
+
+#include "common/check.h"
+
+namespace bypass {
+
+namespace {
+
+/// Lowers one disjunct to a typed partition level against this batch.
+/// False when the predicate shape (comparison / LIKE over literals,
+/// bound columns and correlated outer refs) or the operand types leave
+/// no kernel to run — the caller then takes the generic per-level path.
+bool BuildPartitionLevel(const Expr& pred, const RowBatch& batch,
+                         const Row* outer_row, PartitionLevel* out) {
+  if (pred.kind() == ExprKind::kComparison) {
+    const auto& cmp = static_cast<const ComparisonExpr&>(pred);
+    out->kind = PartitionLevel::Kind::kCompare;
+    out->op = cmp.op();
+    if (!ResolveColumnOperand(*cmp.left(), batch, outer_row, &out->l) ||
+        !ResolveColumnOperand(*cmp.right(), batch, outer_row, &out->r)) {
+      return false;
+    }
+  } else if (pred.kind() == ExprKind::kLike) {
+    const auto& like = static_cast<const LikeExpr&>(pred);
+    out->kind = PartitionLevel::Kind::kLike;
+    if (!ResolveColumnOperand(*like.input(), batch, outer_row, &out->l)) {
+      return false;
+    }
+    out->pattern = like.pattern();
+    out->negated = like.negated();
+  } else {
+    return false;
+  }
+  return PartitionLevelApplies(*out);
+}
+
+}  // namespace
+
+BypassPartitionKOp::BypassPartitionKOp(std::vector<ExprPtr> predicates)
+    : UnaryPhysOp(static_cast<int>(predicates.size()) + 1),
+      predicates_(std::move(predicates)) {
+  BYPASS_CHECK_MSG(!predicates_.empty(),
+                   "k-way bypass partition needs at least one disjunct");
+}
+
+Status BypassPartitionKOp::Prepare(ExecContext* ctx) {
+  BYPASS_RETURN_IF_ERROR(UnaryPhysOp::Prepare(ctx));
+  scratch_.resize(static_cast<size_t>(ctx->num_worker_slots()));
+  const size_t k = predicates_.size();
+  for (Scratch& s : scratch_) {
+    s.streams.resize(k + 1);
+    s.outs.resize(k + 1);
+    for (size_t i = 0; i <= k; ++i) s.outs[i] = &s.streams[i];
+  }
+  return Status::OK();
+}
+
+Status BypassPartitionKOp::Consume(int, RowBatch batch) {
+  const size_t k = predicates_.size();
+  Scratch& scratch = scratch_[static_cast<size_t>(CurrentWorkerId())];
+  for (std::vector<uint32_t>& s : scratch.streams) s.clear();
+
+  // Fused path: every disjunct lowers to a typed level → one kernel call
+  // produces all k+1 selections. Any non-kernel disjunct (subquery
+  // residue, unresolved operand, non-string LIKE) drops the whole batch
+  // to the level-wise generic path, which keeps identical semantics.
+  bool fused = batch.columns() != nullptr;
+  if (fused) {
+    scratch.levels.clear();
+    for (const ExprPtr& p : predicates_) {
+      PartitionLevel level;
+      if (!BuildPartitionLevel(*p, batch, ctx_->outer_row(), &level)) {
+        fused = false;
+        break;
+      }
+      scratch.levels.push_back(level);
+    }
+  }
+  if (fused) {
+    ColumnarPartitionKWay(scratch.levels.data(), k, batch,
+                          scratch.outs.data(), &scratch.kway);
+  } else {
+    BYPASS_RETURN_IF_ERROR(PartitionGeneric(batch, &scratch));
+  }
+
+  ExecStats* stats = ctx_->stats();
+  stats->tagged_batches += 1;
+  if (stats->tagged_stream_rows.size() < k + 1) {
+    stats->tagged_stream_rows.resize(k + 1, 0);
+  }
+  const bool was_dense = batch.dense();
+  for (size_t i = 0; i <= k; ++i) {
+    stats->tagged_stream_rows[i] +=
+        static_cast<int64_t>(scratch.streams[i].size());
+    // Emit drops empty batches anyway; skipping them here avoids k-1
+    // RowBatch round-trips per batch when one disjunct claims everything
+    // (and most of the small-batch overhead at batch_size=1).
+    if (scratch.streams[i].empty()) continue;
+    RowBatch out = batch.ShareWithSelection(std::move(scratch.streams[i]));
+    scratch.streams[i].clear();
+    // A partition of a dense run stays sorted but is only still dense
+    // when it kept a contiguous run; cheap to detect, big win for
+    // downstream storage-indexed loops.
+    if (was_dense && !out.empty() &&
+        out.selection().back() - out.selection().front() + 1 ==
+            out.size()) {
+      out.MarkDense();
+    }
+    BYPASS_RETURN_IF_ERROR(Emit(static_cast<int>(i), std::move(out)));
+  }
+  return Status::OK();
+}
+
+Status BypassPartitionKOp::PartitionGeneric(const RowBatch& batch,
+                                            Scratch* scratch) {
+  const size_t k = predicates_.size();
+  const Row* outer = ctx_->outer_row();
+  RowBatch sub;
+  const RowBatch* cur = &batch;
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<uint32_t>* rest;
+    if (i + 1 == k) {
+      rest = &scratch->streams[k];
+    } else {
+      scratch->rest.clear();
+      rest = &scratch->rest;
+    }
+    BYPASS_RETURN_IF_ERROR(predicates_[i]->PartitionBatch(
+        *cur, outer, &scratch->streams[i], rest, rest));
+    if (i + 1 < k) {
+      if (scratch->rest.empty()) {
+        // Every remaining row claimed: later disjuncts see no rows (and
+        // the remainder stream stays empty), matching short-circuit.
+        return Status::OK();
+      }
+      sub = batch.ShareWithSelection(std::move(scratch->rest));
+      cur = &sub;
+    }
+  }
+  return Status::OK();
+}
+
+std::string BypassPartitionKOp::Label() const {
+  std::string label =
+      "BypassPartition±[k=" + std::to_string(predicates_.size()) + "]";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    label += i == 0 ? " " : " | ";
+    label += predicates_[i]->ToString();
+  }
+  return label;
+}
+
+}  // namespace bypass

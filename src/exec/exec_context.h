@@ -40,6 +40,14 @@ struct ExecStats {
   /// columnar path is disabled — the row-oracle mode of the
   /// differential tests and benches).
   int64_t columnar_batches = 0;
+  /// Batches partitioned by a k-way tagged bypass operator (0 when no
+  /// tagged plan ran — the smoke probe's negative control).
+  int64_t tagged_batches = 0;
+  /// Per-output-stream row counts of the k-way tagged partitions: entry
+  /// i < k counts rows whose first TRUE disjunct was i, the last entry
+  /// counts the remainder stream. Sized on first use; attribution data
+  /// for the BENCH_PR6 sweep.
+  std::vector<int64_t> tagged_stream_rows;
 
   void Add(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
@@ -47,6 +55,13 @@ struct ExecStats {
     subquery_executions += other.subquery_executions;
     subquery_cache_hits += other.subquery_cache_hits;
     columnar_batches += other.columnar_batches;
+    tagged_batches += other.tagged_batches;
+    if (tagged_stream_rows.size() < other.tagged_stream_rows.size()) {
+      tagged_stream_rows.resize(other.tagged_stream_rows.size(), 0);
+    }
+    for (size_t i = 0; i < other.tagged_stream_rows.size(); ++i) {
+      tagged_stream_rows[i] += other.tagged_stream_rows[i];
+    }
   }
 };
 

@@ -10,8 +10,9 @@ Status UnionAllOp::Consume(int, RowBatch batch) {
 
 Status UnionAllOp::FinishPort(int) {
   ++finished_inputs_;
-  BYPASS_CHECK_MSG(finished_inputs_ <= 2, "union input finished twice");
-  if (finished_inputs_ == 2) {
+  BYPASS_CHECK_MSG(finished_inputs_ <= num_inputs_,
+                   "union input finished twice");
+  if (finished_inputs_ == num_inputs_) {
     return EmitFinish(kPortOut);
   }
   return Status::OK();

@@ -1,8 +1,13 @@
-// Disjoint multiset union: forwards rows from both ports unchanged and
-// finishes once both inputs have finished. Re-unites bypass streams.
-// Parallel-safe without locking: Consume is stateless forwarding, and
-// finished_inputs_ is only touched on the finish path, which always runs
-// single-threaded on the driver after the worker pool has drained.
+// Disjoint multiset union: forwards rows from all input ports unchanged
+// and finishes once every input has finished. Re-unites bypass streams —
+// the two ports of a binary σ± cascade, or the k+1 tagged streams of a
+// k-way bypass partition. Parallel-safe without locking: Consume is
+// stateless forwarding, and finished_inputs_ is only touched on the
+// finish path, which always runs single-threaded on the driver after the
+// worker pool has drained. Determinism is inherited from Emit/EmitFinish:
+// each worker's batches forward in arrival order and pending rows flush
+// in worker order, so k tagged streams merge exactly as the equivalent
+// cascade's streams did.
 #ifndef BYPASSDB_EXEC_UNION_OP_H_
 #define BYPASSDB_EXEC_UNION_OP_H_
 
@@ -14,7 +19,9 @@ namespace bypass {
 
 class UnionAllOp : public PhysOp {
  public:
-  UnionAllOp() = default;
+  /// `num_inputs` producers will be wired in; end-of-stream propagates
+  /// after that many FinishPort calls.
+  explicit UnionAllOp(int num_inputs = 2) : num_inputs_(num_inputs) {}
 
   void Reset() override { finished_inputs_ = 0; }
   Status Consume(int in_port, RowBatch batch) override;
@@ -22,6 +29,7 @@ class UnionAllOp : public PhysOp {
   std::string Label() const override { return "UnionAll"; }
 
  private:
+  const int num_inputs_;
   int finished_inputs_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <string_view>
 
 #include "common/check.h"
+#include "common/string_util.h"
 
 namespace bypass {
 
@@ -154,11 +155,23 @@ void FillResTable(CompareOp op, bool res[3]) {
   }
 }
 
+// Explicit selection span the typed loops iterate: the batch's own
+// selection for single-predicate kernels, or a level's shrinking
+// undecided run inside the k-way partition. `dense` asserts
+// sel[i] == sel[0] + i so hot loops can index storage directly.
+struct SelSpan {
+  const uint32_t* sel;
+  size_t n;
+  bool dense;
+};
+
+SelSpan BatchSpan(const RowBatch& batch) {
+  return SelSpan{batch.selection().data(), batch.size(), batch.dense()};
+}
+
 template <typename LS, typename RS, typename EmitFn>
-void CompareLoop(const RowBatch& batch, const bool res[3], LS l, RS r,
+void CompareLoop(SelSpan span, const bool res[3], LS l, RS r,
                  EmitFn&& emit) {
-  const std::vector<uint32_t>& sel = batch.selection();
-  const size_t n = sel.size();
   auto body = [&](uint32_t idx) BYPASS_KERNEL_INLINE {
     if (l.IsNull(idx) || r.IsNull(idx)) {
       emit(idx, TriBool::kUnknown);
@@ -167,20 +180,47 @@ void CompareLoop(const RowBatch& batch, const bool res[3], LS l, RS r,
     emit(idx, res[CmpElem(l.Get(idx), r.Get(idx)) + 1] ? TriBool::kTrue
                                                        : TriBool::kFalse);
   };
-  if (batch.dense() && n > 0) {
-    const uint32_t base = sel[0];
-    for (size_t i = 0; i < n; ++i) body(base + static_cast<uint32_t>(i));
+  if (span.dense && span.n > 0) {
+    const uint32_t base = span.sel[0];
+    for (size_t i = 0; i < span.n; ++i) {
+      body(base + static_cast<uint32_t>(i));
+    }
   } else {
-    for (size_t i = 0; i < n; ++i) body(sel[i]);
+    for (size_t i = 0; i < span.n; ++i) body(span.sel[i]);
   }
 }
 
-// Comparisons that are Unknown for every row: a NULL constant operand,
-// or operand types SQL comparison cannot relate (both cases collapse to
+// SQL LIKE under 3VL: NULL input → Unknown, otherwise the match result
+// (inverted for NOT LIKE). Same loop shape as CompareLoop; the per-row
+// work is the pattern matcher instead of a table lookup, which is why
+// EstimateCost prices LIKE an order of magnitude above a comparison.
+template <typename S, typename EmitFn>
+void LikeLoop(SelSpan span, S s, std::string_view pattern, bool negated,
+              EmitFn&& emit) {
+  auto body = [&](uint32_t idx) BYPASS_KERNEL_INLINE {
+    if (s.IsNull(idx)) {
+      emit(idx, TriBool::kUnknown);
+      return;
+    }
+    emit(idx, LikeMatch(s.Get(idx), pattern) != negated ? TriBool::kTrue
+                                                        : TriBool::kFalse);
+  };
+  if (span.dense && span.n > 0) {
+    const uint32_t base = span.sel[0];
+    for (size_t i = 0; i < span.n; ++i) {
+      body(base + static_cast<uint32_t>(i));
+    }
+  } else {
+    for (size_t i = 0; i < span.n; ++i) body(span.sel[i]);
+  }
+}
+
+// Predicates that are Unknown for every row: a NULL constant operand, or
+// operand types SQL comparison cannot relate (both cases collapse to
 // Unknown whether or not the column value is NULL).
 template <typename EmitFn>
-void AllUnknownLoop(const RowBatch& batch, EmitFn&& emit) {
-  for (uint32_t idx : batch.selection()) emit(idx, TriBool::kUnknown);
+void AllUnknownLoop(SelSpan span, EmitFn&& emit) {
+  for (size_t i = 0; i < span.n; ++i) emit(span.sel[i], TriBool::kUnknown);
 }
 
 // -------------------------------------------------------- classification
@@ -277,40 +317,129 @@ void WithStrSrc(SrcTag t, const ColumnOperand& o, Fn&& fn) {
 /// false when no kernel applies.
 template <typename EmitFn>
 bool DispatchCompare(CompareOp op, const ColumnOperand& l,
-                     const ColumnOperand& r, const RowBatch& batch,
-                     EmitFn&& emit) {
+                     const ColumnOperand& r, SelSpan span, EmitFn&& emit) {
   if (l.column == nullptr && r.column == nullptr) return false;
   const SrcTag lt = Classify(l);
   const SrcTag rt = Classify(r);
   if (lt == SrcTag::kNullConst || rt == SrcTag::kNullConst) {
-    AllUnknownLoop(batch, emit);
+    AllUnknownLoop(span, emit);
     return true;
   }
   bool res[3];
   FillResTable(op, res);
   if (IsNumTag(lt) && IsNumTag(rt)) {
     WithNumSrc(lt, l, [&](auto ls) {
-      WithNumSrc(rt, r, [&](auto rs) { CompareLoop(batch, res, ls, rs, emit); });
+      WithNumSrc(rt, r, [&](auto rs) { CompareLoop(span, res, ls, rs, emit); });
     });
     return true;
   }
   if (IsBoolTag(lt) && IsBoolTag(rt)) {
     WithBoolSrc(lt, l, [&](auto ls) {
       WithBoolSrc(rt, r,
-                  [&](auto rs) { CompareLoop(batch, res, ls, rs, emit); });
+                  [&](auto rs) { CompareLoop(span, res, ls, rs, emit); });
     });
     return true;
   }
   if (IsStrTag(lt) && IsStrTag(rt)) {
     WithStrSrc(lt, l, [&](auto ls) {
       WithStrSrc(rt, r,
-                 [&](auto rs) { CompareLoop(batch, res, ls, rs, emit); });
+                 [&](auto rs) { CompareLoop(span, res, ls, rs, emit); });
     });
     return true;
   }
   // Type-mismatched operands: SQL comparison yields Unknown everywhere.
-  AllUnknownLoop(batch, emit);
+  AllUnknownLoop(span, emit);
   return true;
+}
+
+/// LIKE dispatch: string column / string constant run the typed matcher,
+/// a NULL constant is Unknown everywhere, anything else (the row path
+/// raises an execution error for non-string inputs) gets no kernel.
+template <typename EmitFn>
+bool DispatchLike(const ColumnOperand& input, std::string_view pattern,
+                  bool negated, SelSpan span, EmitFn&& emit) {
+  const SrcTag t = Classify(input);
+  if (t == SrcTag::kNullConst) {
+    AllUnknownLoop(span, emit);
+    return true;
+  }
+  if (!IsStrTag(t)) return false;
+  WithStrSrc(t, input,
+             [&](auto s) { LikeLoop(span, s, pattern, negated, emit); });
+  return true;
+}
+
+/// One k-way partition level: comparison or LIKE, same emit contract.
+template <typename EmitFn>
+bool DispatchLevel(const PartitionLevel& level, SelSpan span,
+                   EmitFn&& emit) {
+  if (level.kind == PartitionLevel::Kind::kLike) {
+    return DispatchLike(level.l, level.pattern, level.negated, span, emit);
+  }
+  return DispatchCompare(level.op, level.l, level.r, span, emit);
+}
+
+/// Shared branchless partition driver: every output vector is pre-sized
+/// to worst case, each element is stored unconditionally at its stream's
+/// cursor, and only the cursor advance is predicated — no per-element
+/// branch mispredicts, no push_back capacity checks. Batch order is
+/// preserved per stream. A disabled stream (nullptr) writes into a dummy
+/// slot with a cursor that never advances. `dispatch(emit)` must run a
+/// typed loop (the caller checks applicability first).
+template <typename DispatchFn>
+void PartitionStreams(const RowBatch& batch, std::vector<uint32_t>* sel_true,
+                      std::vector<uint32_t>* sel_false,
+                      std::vector<uint32_t>* sel_null,
+                      DispatchFn&& dispatch) {
+  const size_t n = batch.size();
+  uint32_t dummy;
+  const size_t t0 = sel_true->size();
+  sel_true->resize(t0 + n);
+  uint32_t* tp = sel_true->data() + t0;
+  size_t tn = 0;
+  if (sel_false != nullptr && sel_false == sel_null) {
+    // σ± split: FALSE and UNKNOWN merge into one complement-of-TRUE
+    // stream, so the outcome is binary.
+    const size_t f0 = sel_false->size();
+    sel_false->resize(f0 + n);
+    uint32_t* fp = sel_false->data() + f0;
+    size_t fn = 0;
+    const bool ok =
+        dispatch([&](uint32_t idx, TriBool t) BYPASS_KERNEL_INLINE {
+          const size_t is_true = t == TriBool::kTrue ? 1 : 0;
+          tp[tn] = idx;
+          tn += is_true;
+          fp[fn] = idx;
+          fn += 1 - is_true;
+        });
+    BYPASS_CHECK(ok);
+    sel_true->resize(t0 + tn);
+    sel_false->resize(f0 + fn);
+    return;
+  }
+  const size_t f0 = sel_false != nullptr ? sel_false->size() : 0;
+  if (sel_false != nullptr) sel_false->resize(f0 + n);
+  uint32_t* fp = sel_false != nullptr ? sel_false->data() + f0 : &dummy;
+  const size_t f_live = sel_false != nullptr ? 1 : 0;
+  size_t fn = 0;
+  const size_t u0 = sel_null != nullptr ? sel_null->size() : 0;
+  if (sel_null != nullptr) sel_null->resize(u0 + n);
+  uint32_t* up = sel_null != nullptr ? sel_null->data() + u0 : &dummy;
+  const size_t u_live = sel_null != nullptr ? 1 : 0;
+  size_t un = 0;
+  const bool ok =
+      dispatch([&](uint32_t idx, TriBool t) BYPASS_KERNEL_INLINE {
+        tp[tn] = idx;
+        tn += t == TriBool::kTrue ? 1 : 0;
+        fp[fn] = idx;
+        fn += t == TriBool::kFalse ? f_live : 0;
+        up[un] = idx;
+        un += t == TriBool::kUnknown ? u_live : 0;
+      });
+  BYPASS_CHECK(ok);
+  sel_true->resize(t0 + tn);
+  if (sel_false != nullptr) sel_false->resize(f0 + fn);
+  if (sel_null != nullptr) sel_null->resize(u0 + un);
 }
 
 // ---------------------------------------------------------- arithmetic
@@ -417,66 +546,12 @@ bool ColumnarComparePartition(CompareOp op, const ColumnOperand& l,
                               std::vector<uint32_t>* sel_false,
                               std::vector<uint32_t>* sel_null) {
   // Both-constant operands take the row path (mirrors DispatchCompare's
-  // bail-out); checked up front so the output resizes below are only done
-  // when a kernel will definitely run.
+  // bail-out); checked up front so the output resizes in PartitionStreams
+  // are only done when a kernel will definitely run.
   if (l.column == nullptr && r.column == nullptr) return false;
-  // Branchless radix-style partition: every output vector is pre-sized to
-  // worst case, each element is stored unconditionally at its stream's
-  // cursor, and only the cursor advance is predicated — no per-element
-  // branch mispredicts, no push_back capacity checks. Batch order is
-  // preserved per stream. A disabled stream (nullptr) writes into a dummy
-  // slot with a cursor that never advances.
-  const size_t n = batch.size();
-  uint32_t dummy;
-  const size_t t0 = sel_true->size();
-  sel_true->resize(t0 + n);
-  uint32_t* tp = sel_true->data() + t0;
-  size_t tn = 0;
-  if (sel_false != nullptr && sel_false == sel_null) {
-    // σ± split: FALSE and UNKNOWN merge into one complement-of-TRUE
-    // stream, so the outcome is binary.
-    const size_t f0 = sel_false->size();
-    sel_false->resize(f0 + n);
-    uint32_t* fp = sel_false->data() + f0;
-    size_t fn = 0;
-    const bool ok =
-        DispatchCompare(op, l, r, batch,
-                        [&](uint32_t idx, TriBool t) BYPASS_KERNEL_INLINE {
-          const size_t is_true = t == TriBool::kTrue ? 1 : 0;
-          tp[tn] = idx;
-          tn += is_true;
-          fp[fn] = idx;
-          fn += 1 - is_true;
-        });
-    BYPASS_CHECK(ok);
-    sel_true->resize(t0 + tn);
-    sel_false->resize(f0 + fn);
-    return true;
-  }
-  const size_t f0 = sel_false != nullptr ? sel_false->size() : 0;
-  if (sel_false != nullptr) sel_false->resize(f0 + n);
-  uint32_t* fp = sel_false != nullptr ? sel_false->data() + f0 : &dummy;
-  const size_t f_live = sel_false != nullptr ? 1 : 0;
-  size_t fn = 0;
-  const size_t u0 = sel_null != nullptr ? sel_null->size() : 0;
-  if (sel_null != nullptr) sel_null->resize(u0 + n);
-  uint32_t* up = sel_null != nullptr ? sel_null->data() + u0 : &dummy;
-  const size_t u_live = sel_null != nullptr ? 1 : 0;
-  size_t un = 0;
-  const bool ok =
-      DispatchCompare(op, l, r, batch,
-                      [&](uint32_t idx, TriBool t) BYPASS_KERNEL_INLINE {
-        tp[tn] = idx;
-        tn += t == TriBool::kTrue ? 1 : 0;
-        fp[fn] = idx;
-        fn += t == TriBool::kFalse ? f_live : 0;
-        up[un] = idx;
-        un += t == TriBool::kUnknown ? u_live : 0;
-      });
-  BYPASS_CHECK(ok);
-  sel_true->resize(t0 + tn);
-  if (sel_false != nullptr) sel_false->resize(f0 + fn);
-  if (sel_null != nullptr) sel_null->resize(u0 + un);
+  PartitionStreams(batch, sel_true, sel_false, sel_null, [&](auto&& emit) {
+    return DispatchCompare(op, l, r, BatchSpan(batch), emit);
+  });
   return true;
 }
 
@@ -484,9 +559,97 @@ bool ColumnarCompareEval(CompareOp op, const ColumnOperand& l,
                          const ColumnOperand& r, const RowBatch& batch,
                          std::vector<Value>* out) {
   out->reserve(out->size() + batch.size());
-  return DispatchCompare(op, l, r, batch, [&](uint32_t, TriBool t) {
-    out->push_back(TriBoolToValueLocal(t));
+  return DispatchCompare(op, l, r, BatchSpan(batch),
+                         [&](uint32_t, TriBool t) {
+                           out->push_back(TriBoolToValueLocal(t));
+                         });
+}
+
+bool ColumnarLikePartition(const ColumnOperand& input,
+                           std::string_view pattern, bool negated,
+                           const RowBatch& batch,
+                           std::vector<uint32_t>* sel_true,
+                           std::vector<uint32_t>* sel_false,
+                           std::vector<uint32_t>* sel_null) {
+  PartitionLevel level;
+  level.kind = PartitionLevel::Kind::kLike;
+  level.l = input;
+  level.pattern = pattern;
+  level.negated = negated;
+  if (!PartitionLevelApplies(level)) return false;
+  PartitionStreams(batch, sel_true, sel_false, sel_null, [&](auto&& emit) {
+    return DispatchLike(input, pattern, negated, BatchSpan(batch), emit);
   });
+  return true;
+}
+
+bool ColumnarLikeEval(const ColumnOperand& input, std::string_view pattern,
+                      bool negated, const RowBatch& batch,
+                      std::vector<Value>* out) {
+  PartitionLevel level;
+  level.kind = PartitionLevel::Kind::kLike;
+  level.l = input;
+  level.pattern = pattern;
+  level.negated = negated;
+  if (!PartitionLevelApplies(level)) return false;
+  out->reserve(out->size() + batch.size());
+  return DispatchLike(input, pattern, negated, BatchSpan(batch),
+                      [&](uint32_t, TriBool t) {
+                        out->push_back(TriBoolToValueLocal(t));
+                      });
+}
+
+bool PartitionLevelApplies(const PartitionLevel& level) {
+  if (level.kind == PartitionLevel::Kind::kLike) {
+    // Non-string inputs raise an execution error on the row path; the
+    // kernel must not swallow it.
+    const SrcTag t = Classify(level.l);
+    return t == SrcTag::kNullConst || IsStrTag(t);
+  }
+  return level.l.column != nullptr || level.r.column != nullptr;
+}
+
+void ColumnarPartitionKWay(const PartitionLevel* levels, size_t k,
+                           const RowBatch& batch,
+                           std::vector<uint32_t>* const* outs,
+                           KWayScratch* scratch) {
+  BYPASS_CHECK(k >= 1);
+  // Level-wise first-true semantics: level i partitions the span still
+  // undecided after levels 0..i-1 into its TRUE stream (outs[i]) and the
+  // next undecided span; the last level's complement goes straight into
+  // the remainder stream (outs[k]). Each level is the same branchless
+  // binary emit as the σ± kernel, so predicate work exactly matches the
+  // equivalent bypass cascade — the win is skipping the k-1 intermediate
+  // batch hand-offs. Intermediate spans double-buffer through `scratch`.
+  SelSpan span = BatchSpan(batch);
+  for (size_t level = 0; level < k; ++level) {
+    std::vector<uint32_t>* out_true = outs[level];
+    const size_t t0 = out_true->size();
+    out_true->resize(t0 + span.n);
+    uint32_t* tp = out_true->data() + t0;
+    size_t tn = 0;
+    const bool last = level + 1 == k;
+    std::vector<uint32_t>* rest =
+        last ? outs[k] : &scratch->undecided[level & 1];
+    if (!last) rest->clear();
+    const size_t r0 = rest->size();
+    rest->resize(r0 + span.n);
+    uint32_t* rp = rest->data() + r0;
+    size_t rn = 0;
+    const bool ok = DispatchLevel(
+        levels[level], span,
+        [&](uint32_t idx, TriBool t) BYPASS_KERNEL_INLINE {
+          const size_t is_true = t == TriBool::kTrue ? 1 : 0;
+          tp[tn] = idx;
+          tn += is_true;
+          rp[rn] = idx;
+          rn += 1 - is_true;
+        });
+    BYPASS_CHECK(ok);
+    out_true->resize(t0 + tn);
+    rest->resize(r0 + rn);
+    span = SelSpan{rest->data() + r0, rn, false};
+  }
 }
 
 std::optional<Status> ColumnarArithmeticEval(

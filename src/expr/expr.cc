@@ -540,6 +540,38 @@ Result<Value> LikeExpr::Eval(const EvalContext& ctx) const {
   return Value::Bool(negated_ ? !match : match);
 }
 
+Status LikeExpr::EvalBatch(const RowBatch& batch, const Row* outer_row,
+                           std::vector<Value>* out) const {
+  // Typed string kernel: one matcher loop over raw column data. Falls
+  // back to the per-row path (and its non-string execution error) when
+  // the input is not a typed string column / string constant.
+  if (batch.columns() != nullptr) {
+    ColumnOperand in;
+    if (ResolveColumnOperand(*input_, batch, outer_row, &in) &&
+        ColumnarLikeEval(in, pattern_, negated_, batch, out)) {
+      return Status::OK();
+    }
+  }
+  return Expr::EvalBatch(batch, outer_row, out);
+}
+
+Status LikeExpr::PartitionBatch(const RowBatch& batch, const Row* outer_row,
+                                std::vector<uint32_t>* sel_true,
+                                std::vector<uint32_t>* sel_false,
+                                std::vector<uint32_t>* sel_null) const {
+  // Fused LIKE σ± split, mirroring ComparisonExpr::PartitionBatch.
+  if (batch.columns() != nullptr) {
+    ColumnOperand in;
+    if (ResolveColumnOperand(*input_, batch, outer_row, &in) &&
+        ColumnarLikePartition(in, pattern_, negated_, batch, sel_true,
+                              sel_false, sel_null)) {
+      return Status::OK();
+    }
+  }
+  return Expr::PartitionBatch(batch, outer_row, sel_true, sel_false,
+                              sel_null);
+}
+
 ExprPtr LikeExpr::Clone() const {
   return std::make_shared<LikeExpr>(input_->Clone(), pattern_, negated_);
 }

@@ -284,6 +284,12 @@ class LikeExpr : public Expr {
   const std::string& pattern() const { return pattern_; }
   bool negated() const { return negated_; }
   Result<Value> Eval(const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const Row* outer_row,
+                   std::vector<Value>* out) const override;
+  Status PartitionBatch(const RowBatch& batch, const Row* outer_row,
+                        std::vector<uint32_t>* sel_true,
+                        std::vector<uint32_t>* sel_false,
+                        std::vector<uint32_t>* sel_null) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return {input_}; }

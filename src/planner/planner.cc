@@ -5,6 +5,7 @@
 #include "algebra/plan_util.h"
 #include "common/check.h"
 #include "planner/cost_model.h"
+#include "exec/bypass_partition.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/group_by.h"
@@ -90,9 +91,18 @@ Result<PhysicalPlan> Planner::LowerPlan(const LogicalOpPtr& root,
   for (const auto& [logical, phys] : memo) {
     const auto it = estimates.find(logical);
     if (it == estimates.end()) continue;
-    phys->set_estimated_rows(kPortOut, it->second.rows);
+    const PlanEstimate& est = it->second;
+    if (!est.port_rows.empty()) {
+      const int ports = std::min(phys->num_out_ports(),
+                                 static_cast<int>(est.port_rows.size()));
+      for (int p = 0; p < ports; ++p) {
+        phys->set_estimated_rows(p, est.port_rows[static_cast<size_t>(p)]);
+      }
+      continue;
+    }
+    phys->set_estimated_rows(kPortOut, est.rows);
     if (phys->num_out_ports() > 1) {
-      phys->set_estimated_rows(kPortNegative, it->second.neg_rows);
+      phys->set_estimated_rows(kPortNegative, est.neg_rows);
     }
   }
   return plan;
@@ -443,10 +453,26 @@ Result<PhysOp*> Planner::LowerNode(
       wire(result, 0, 0);
       break;
     }
-    case LogicalOpKind::kUnion: {
-      result = Register(ctx, std::make_unique<UnionAllOp>());
+    case LogicalOpKind::kBypassPartition: {
+      const auto& part = static_cast<const BypassPartitionOp&>(*node);
+      std::vector<ExprPtr> preds;
+      preds.reserve(part.predicates().size());
+      for (const ExprPtr& p : part.predicates()) {
+        BYPASS_ASSIGN_OR_RETURN(
+            ExprPtr bound, BindExpr(p, inputs[0].op->schema(), ctx));
+        preds.push_back(std::move(bound));
+      }
+      result = Register(
+          ctx, std::make_unique<BypassPartitionKOp>(std::move(preds)));
       wire(result, 0, 0);
-      wire(result, 1, 1);
+      break;
+    }
+    case LogicalOpKind::kUnion: {
+      result = Register(ctx, std::make_unique<UnionAllOp>(
+                                 static_cast<int>(inputs.size())));
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        wire(result, static_cast<int>(i), i);
+      }
       break;
     }
   }

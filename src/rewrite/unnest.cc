@@ -511,18 +511,42 @@ Result<LogicalOpPtr> UnnestingRewriter::RewriteConjunct(
   }
 
   const Schema base = stream.op->schema();
-  std::vector<LogicalOpPtr> branches;
+  std::vector<LogicalInput> branches;
   LogicalInput current = stream;
 
-  auto align = [&base](LogicalInput in) -> LogicalOpPtr {
-    if (SameColumns(in.op->schema(), base) &&
-        in.port == StreamPort::kOut) {
-      return in.op;
-    }
-    return ProjectToColumns(in, base);
+  auto align = [&base](LogicalInput in) -> LogicalInput {
+    if (SameColumns(in.op->schema(), base)) return in;
+    return Out(ProjectToColumns(std::move(in), base));
   };
 
-  for (size_t i = 0; i < items.size(); ++i) {
+  // A leading run of ≥2 simple disjuncts can be fused into one k-way
+  // tagged partition: port i carries the rows whose first satisfied
+  // disjunct is i, the remainder port feeds the rest of the cascade —
+  // tuple-identical to the σ± chain it replaces.
+  size_t start = 0;
+  bool tagged = false;
+  if (options_.use_tagged_partition) {
+    size_t m = 0;
+    while (m < items.size() && items[m].kind == CascadeItem::kSimple) {
+      ++m;
+    }
+    if (m >= 2 && m < items.size()) {
+      std::vector<ExprPtr> preds;
+      preds.reserve(m);
+      for (size_t i = 0; i < m; ++i) preds.push_back(items[i].pred);
+      auto part =
+          std::make_shared<BypassPartitionOp>(current, std::move(preds));
+      for (size_t i = 0; i < m; ++i) {
+        branches.push_back(LogicalInput{part, part->stream(i)});
+      }
+      current = LogicalInput{part, part->remainder()};
+      start = m;
+      tagged = true;
+      LogRule("TaggedK");
+    }
+  }
+
+  for (size_t i = start; i < items.size(); ++i) {
     const CascadeItem& item = items[i];
     const bool last = (i + 1 == items.size());
     switch (item.kind) {
@@ -575,9 +599,19 @@ Result<LogicalOpPtr> UnnestingRewriter::RewriteConjunct(
     }
   }
 
-  LogicalOpPtr result = branches[0];
+  if (branches.size() == 1) {
+    return branches[0].port == StreamPort::kOut
+               ? branches[0].op
+               : ProjectToColumns(branches[0], base);
+  }
+  if (tagged) {
+    // The k tagged streams plus any trailing cascade branches re-unite
+    // through one n-ary union (deterministic fan-in).
+    return LogicalOpPtr(std::make_shared<UnionOp>(std::move(branches)));
+  }
+  LogicalOpPtr result = branches[0].op;
   for (size_t i = 1; i < branches.size(); ++i) {
-    result = std::make_shared<UnionOp>(Out(result), Out(branches[i]));
+    result = std::make_shared<UnionOp>(Out(result), branches[i]);
   }
   return result;
 }
