@@ -55,7 +55,7 @@ std::vector<Strategy> StudyStrategies(double timeout_seconds,
   };
   std::vector<Strategy> strategies;
   for (const auto& preset : presets) {
-    Strategy s{preset.name, QueryOptions(preset.strategy)};
+    Strategy s{preset.name, QueryOptions::With(preset.strategy)};
     s.options.timeout = timeout;
     s.options.collect_plans = false;
     s.options.batch_size = batch_size;

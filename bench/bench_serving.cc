@@ -1,0 +1,379 @@
+// Serving-layer benchmark (PR 7): N client threads issuing a repeated
+// query class — four RST query texts, round-robin — against
+//
+//   shared    one Server over one Database: shared worker pool, plan
+//             cache on, admission control (engine/server.h); each client
+//             is a Session.
+//   private   the pre-PR-7 deployment: one Database per client (own
+//             elastic pool) calling Database::Query, so every query
+//             re-parses and re-plans and the pools oversubscribe the
+//             host as clients multiply.
+//
+// Sweeps clients ∈ {1, 4, 8} and reports throughput (queries/s), p50 and
+// p99 latency per mode, the shared mode's plan-cache hit rate, and the
+// shared-vs-private throughput ratio. The interesting cell is 8 clients:
+// the shared scheduler amortizes planning across repeats and multiplexes
+// one right-sized pool instead of eight private ones.
+//
+// Also the CI probe for the serving plumbing: invoked as
+//   bench_serving --assert-serving
+// it runs 4 clients x 50 queries against a shared Server, checks every
+// result against a Database::Query oracle, and asserts the plan-cache
+// hit rate exceeds 0.9 and the admission accounting adds up. Exits
+// nonzero on any failure.
+//
+// Flags: --rows=N       r/s cardinality        (default 2000)
+//        --queries=N    queries per client     (default 200)
+//        --threads=N    num_threads per query  (default 2)
+//        --quick        500 rows, 50 queries
+//        --json         machine-readable report on stdout
+//        --assert-serving   smoke probe (see above)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/database.h"
+#include "engine/server.h"
+#include "engine/session.h"
+#include "workload/rst.h"
+
+namespace {
+
+using namespace bypass;         // NOLINT(build/namespaces)
+using namespace bypass::bench;  // NOLINT(build/namespaces)
+
+// The repeated query class: disjunctive correlated scalar subquery (the
+// paper's subject), quantified variants, and a plain scan — predicates
+// sized to the RST domains (a2 in [0,1000), a4 in [0,10000)).
+const char* const kQueryClass[] = {
+    "SELECT DISTINCT * FROM r "
+    "WHERE a4 > 8000 OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)",
+    "SELECT DISTINCT * FROM r "
+    "WHERE a1 IN (SELECT b1 FROM s WHERE b2 = a2) OR a4 < 500",
+    "SELECT DISTINCT * FROM r "
+    "WHERE EXISTS (SELECT * FROM s WHERE b1 = a1) OR a4 > 9500",
+    "SELECT a1, a2 FROM r WHERE a4 < 2000",
+};
+constexpr int kQueryClassSize = 4;
+
+QueryOptions ServeOptions(int num_threads) {
+  QueryOptions o;  // default strategy; plan shape comes from the cache key
+  o.collect_plans = false;
+  o.num_threads = num_threads;
+  return o;
+}
+
+Status LoadAndAnalyze(Database* db, int64_t rows) {
+  RstOptions opts;
+  opts.rows_per_sf = rows;
+  BYPASS_RETURN_IF_ERROR(LoadRst(db, 1, 1, 0.1, opts));
+  return db->AnalyzeAll().status();
+}
+
+struct ModeResult {
+  double wall_seconds = 0;
+  double throughput_qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  double plan_cache_hit_rate = -1;  // shared mode only
+};
+
+double PercentileMs(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies->size())));
+  return (*latencies)[idx];
+}
+
+/// Drives `clients` threads, each issuing `queries_per_client` queries
+/// round-robin over the query class (staggered start offsets so the
+/// clients spread across the four texts instead of stampeding one).
+/// `issue` runs one query and returns ok/failed.
+ModeResult DriveClients(int clients, int queries_per_client,
+                        const std::function<Status(int client, int idx)>&
+                            issue) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(queries_per_client);
+      for (int i = 0; i < queries_per_client; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const Status status = issue(c, (c + i) % kQueryClassSize);
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        if (!status.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(elapsed).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  ModeResult result;
+  result.wall_seconds = wall.count();
+  result.queries = all.size();
+  result.errors = errors.load();
+  result.throughput_qps =
+      wall.count() > 0 ? static_cast<double>(all.size()) / wall.count() : 0;
+  result.p50_ms = PercentileMs(&all, 0.50);
+  result.p99_ms = PercentileMs(&all, 0.99);
+  return result;
+}
+
+/// Shared mode: one Server (plan cache on, admission sized to the client
+/// count) over one Database; each client drives its own Session.
+ModeResult RunShared(Database* db, int clients, int queries_per_client,
+                     int num_threads) {
+  ServerOptions opts;
+  opts.num_workers = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  opts.max_concurrent_queries = std::max(clients, 1);
+  opts.plan_cache_entries = 64;
+  Server server(db, opts);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int c = 0; c < clients; ++c) sessions.push_back(server.Connect());
+  const QueryOptions query_opts = ServeOptions(num_threads);
+  ModeResult result =
+      DriveClients(clients, queries_per_client, [&](int c, int idx) {
+        return sessions[c]->Query(kQueryClass[idx], query_opts).status();
+      });
+  result.plan_cache_hit_rate = server.stats().plan_cache.hit_rate();
+  return result;
+}
+
+/// Private mode: the pre-serving deployment — one Database (and thus one
+/// elastic pool, no plan cache) per client, every query through
+/// Database::Query re-plans from SQL.
+ModeResult RunPrivate(int clients, int queries_per_client, int num_threads,
+                      int64_t rows) {
+  std::vector<std::unique_ptr<Database>> dbs;
+  for (int c = 0; c < clients; ++c) {
+    auto db = std::make_unique<Database>();
+    Status loaded = LoadAndAnalyze(db.get(), rows);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_serving: private load failed: %s\n",
+                   loaded.ToString().c_str());
+      std::exit(1);
+    }
+    dbs.push_back(std::move(db));
+  }
+  const QueryOptions query_opts = ServeOptions(num_threads);
+  return DriveClients(clients, queries_per_client, [&](int c, int idx) {
+    return dbs[c]->Query(kQueryClass[idx], query_opts).status();
+  });
+}
+
+// ------------------------------------------------------ --assert-serving
+
+int AssertServing(int64_t rows) {
+  Database db;
+  Status loaded = LoadAndAnalyze(&db, rows);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "assert-serving: load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  // Oracle rows per query text, computed through the compatibility path.
+  const QueryOptions query_opts = ServeOptions(/*num_threads=*/2);
+  std::vector<std::vector<Row>> oracle(kQueryClassSize);
+  for (int i = 0; i < kQueryClassSize; ++i) {
+    auto result = db.Query(kQueryClass[i], query_opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "assert-serving: oracle query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    oracle[i] = std::move(result->rows);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 50;
+  ServerOptions opts;
+  opts.num_workers = 4;
+  opts.max_concurrent_queries = kClients;
+  opts.plan_cache_entries = 64;
+  Server server(&db, opts);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int c = 0; c < kClients; ++c) sessions.push_back(server.Connect());
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const int idx = (c + i) % kQueryClassSize;
+        auto result = sessions[c]->Query(kQueryClass[idx], query_opts);
+        if (!result.ok()) {
+          failures.fetch_add(1);
+        } else if (!RowMultisetsEqual(oracle[idx], result->rows)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServerStats stats = server.stats();
+  const double hit_rate = stats.plan_cache.hit_rate();
+  bool ok = true;
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "assert-serving: FAIL: %d queries errored\n",
+                 failures.load());
+    ok = false;
+  }
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "assert-serving: FAIL: %d results diverged from the "
+                 "Database::Query oracle\n",
+                 mismatches.load());
+    ok = false;
+  }
+  if (hit_rate <= 0.9) {
+    std::fprintf(stderr,
+                 "assert-serving: FAIL: plan-cache hit rate %.3f <= 0.9 "
+                 "(hits %llu, misses %llu)\n",
+                 hit_rate,
+                 static_cast<unsigned long long>(stats.plan_cache.hits),
+                 static_cast<unsigned long long>(stats.plan_cache.misses));
+    ok = false;
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(kClients) * kQueriesPerClient;
+  if (stats.queries_succeeded != expected || stats.queries_started !=
+      expected) {
+    std::fprintf(stderr,
+                 "assert-serving: FAIL: admission accounting (started "
+                 "%llu, succeeded %llu, expected %llu)\n",
+                 static_cast<unsigned long long>(stats.queries_started),
+                 static_cast<unsigned long long>(stats.queries_succeeded),
+                 static_cast<unsigned long long>(expected));
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf(
+      "assert-serving: OK (%llu queries, 4 clients, plan-cache hit rate "
+      "%.3f)\n",
+      static_cast<unsigned long long>(expected), hit_rate);
+  return 0;
+}
+
+// ------------------------------------------------------------------ main
+
+void PrintJson(const std::vector<int>& client_counts,
+               const std::vector<ModeResult>& shared,
+               const std::vector<ModeResult>& priv, int64_t rows,
+               int queries_per_client, int num_threads) {
+  std::printf("{\n");
+  std::printf("  \"rows\": %lld,\n", static_cast<long long>(rows));
+  std::printf("  \"queries_per_client\": %d,\n", queries_per_client);
+  std::printf("  \"query_class_size\": %d,\n", kQueryClassSize);
+  std::printf("  \"num_threads_per_query\": %d,\n", num_threads);
+  for (size_t i = 0; i < client_counts.size(); ++i) {
+    const ModeResult& s = shared[i];
+    const ModeResult& p = priv[i];
+    std::printf("  \"clients_%d\": {\n", client_counts[i]);
+    std::printf(
+        "    \"shared\": {\"throughput_qps\": %.1f, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"errors\": %llu, "
+        "\"plan_cache_hit_rate\": %.3f},\n",
+        s.throughput_qps, s.p50_ms, s.p99_ms,
+        static_cast<unsigned long long>(s.errors),
+        s.plan_cache_hit_rate);
+    std::printf(
+        "    \"private\": {\"throughput_qps\": %.1f, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"errors\": %llu},\n",
+        p.throughput_qps, p.p50_ms, p.p99_ms,
+        static_cast<unsigned long long>(p.errors));
+    std::printf("    \"speedup_shared_vs_private\": %.2f\n",
+                p.throughput_qps > 0 ? s.throughput_qps / p.throughput_qps
+                                     : 0.0);
+    std::printf("  }%s\n",
+                i + 1 < client_counts.size() ? "," : "");
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool quick = flags.Has("quick");
+  const int64_t rows = flags.GetInt("rows", quick ? 500 : 2000);
+  const int queries_per_client =
+      static_cast<int>(flags.GetInt("queries", quick ? 50 : 200));
+  const int num_threads = static_cast<int>(flags.GetInt("threads", 2));
+
+  if (flags.Has("assert-serving")) return AssertServing(rows);
+
+  Database shared_db;
+  Status loaded = LoadAndAnalyze(&shared_db, rows);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bench_serving: load failed: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<int> client_counts = {1, 4, 8};
+  std::vector<ModeResult> shared;
+  std::vector<ModeResult> priv;
+  for (int clients : client_counts) {
+    shared.push_back(
+        RunShared(&shared_db, clients, queries_per_client, num_threads));
+    priv.push_back(
+        RunPrivate(clients, queries_per_client, num_threads, rows));
+  }
+
+  if (flags.Has("json")) {
+    PrintJson(client_counts, shared, priv, rows, queries_per_client,
+              num_threads);
+    return 0;
+  }
+
+  PrintBanner("serving",
+              "serving layer: shared scheduler vs private pools",
+              "shared = Server(plan cache, admission) / private = one "
+              "Database per client; repeated 4-query class");
+  ResultTable table({"shared qps", "shared p50/p99 ms", "hit rate",
+                     "private qps", "private p50/p99 ms", "speedup"});
+  char buf[6][64];
+  for (size_t i = 0; i < client_counts.size(); ++i) {
+    const ModeResult& s = shared[i];
+    const ModeResult& p = priv[i];
+    std::snprintf(buf[0], sizeof(buf[0]), "%.0f", s.throughput_qps);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f/%.2f", s.p50_ms, s.p99_ms);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.3f", s.plan_cache_hit_rate);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.0f", p.throughput_qps);
+    std::snprintf(buf[4], sizeof(buf[4]), "%.2f/%.2f", p.p50_ms, p.p99_ms);
+    std::snprintf(buf[5], sizeof(buf[5]), "%.2fx",
+                  p.throughput_qps > 0
+                      ? s.throughput_qps / p.throughput_qps
+                      : 0.0);
+    table.AddRow(std::to_string(client_counts[i]) + " clients",
+                 {buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]});
+  }
+  table.Print();
+  return 0;
+}

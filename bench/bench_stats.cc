@@ -132,22 +132,22 @@ int main(int argc, char** argv) {
     canonical.unnest = false;
     p.t_canonical = MedianExecMs(&db, canonical, runs);
 
-    QueryOptions simple(ExecutionStrategy::kUnnested);
+    QueryOptions simple = QueryOptions::With(ExecutionStrategy::kUnnested);
     simple.rewrite.disjunct_order = DisjunctOrder::kSimpleFirst;
     p.t_simple = MedianExecMs(&db, simple, runs);
 
-    QueryOptions subquery(ExecutionStrategy::kUnnested);
+    QueryOptions subquery = QueryOptions::With(ExecutionStrategy::kUnnested);
     subquery.rewrite.disjunct_order = DisjunctOrder::kSubqueryFirst;
     p.t_subquery = MedianExecMs(&db, subquery, runs);
 
     std::vector<std::string> rank_rules;
-    p.t_by_rank = MedianExecMs(&db, QueryOptions(ExecutionStrategy::kUnnested),
+    p.t_by_rank = MedianExecMs(&db, QueryOptions::With(ExecutionStrategy::kUnnested),
                                runs, &rank_rules);
     p.by_rank_shape = ShapeOf(rank_rules);
 
     std::vector<std::string> cb_rules;
     p.t_cost_based = MedianExecMs(
-        &db, QueryOptions(ExecutionStrategy::kCostBased), runs, &cb_rules);
+        &db, QueryOptions::With(ExecutionStrategy::kCostBased), runs, &cb_rules);
     p.cost_based_shape = ShapeOf(cb_rules);
 
     p.best = "canonical";
@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
     points.push_back(p);
 
     // Per-operator q-error of the cost-based plan after ANALYZE.
-    auto fb = db.Query(kSql, ExecutionStrategy::kCostBased);
+    auto fb = db.Query(kSql, QueryOptions::With(ExecutionStrategy::kCostBased));
     if (fb.ok()) {
       for (const OperatorFeedback& f : fb->operator_feedback) {
         if (f.estimated >= 0) max_q_error = std::max(max_q_error, f.q_error);

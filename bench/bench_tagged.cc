@@ -105,13 +105,13 @@ std::string TaggedQuery(int simple_k) {
 // ------------------------------------------------------- strategies
 
 QueryOptions TaggedOptions() {
-  QueryOptions opts(ExecutionStrategy::kUnnested);
+  QueryOptions opts = QueryOptions::With(ExecutionStrategy::kUnnested);
   opts.rewrite.use_tagged_partition = true;
   return opts;
 }
 
 QueryOptions CascadeOptions(DisjunctOrder order) {
-  QueryOptions opts(ExecutionStrategy::kUnnested);
+  QueryOptions opts = QueryOptions::With(ExecutionStrategy::kUnnested);
   opts.rewrite.disjunct_order = order;
   return opts;
 }
@@ -171,7 +171,7 @@ void BM_CascadeSubqueryFirst(benchmark::State& state) {
 BENCHMARK(BM_CascadeSubqueryFirst)->TAGGED_ARGS;
 
 void BM_CostBasedAuto(benchmark::State& state) {
-  RunStrategy(state, QueryOptions(ExecutionStrategy::kCostBased));
+  RunStrategy(state, QueryOptions::With(ExecutionStrategy::kCostBased));
 }
 BENCHMARK(BM_CostBasedAuto)->TAGGED_ARGS;
 
@@ -183,7 +183,7 @@ int AssertTaggedPick() {
 
   // (a)+(b): the cost-based optimizer must choose the k-way tagged plan
   // unprompted, and the executor must actually run the partition.
-  auto picked = db.Query(sql, QueryOptions(ExecutionStrategy::kCostBased));
+  auto picked = db.Query(sql, QueryOptions::With(ExecutionStrategy::kCostBased));
   if (!picked.ok()) {
     std::fprintf(stderr, "assert-tagged: cost-based query failed: %s\n",
                  picked.status().ToString().c_str());
@@ -220,7 +220,7 @@ int AssertTaggedPick() {
   }
 
   // (c): the plain cascade must not touch the tagged counters.
-  auto cascade = db.Query(sql, QueryOptions(ExecutionStrategy::kUnnested));
+  auto cascade = db.Query(sql, QueryOptions::With(ExecutionStrategy::kUnnested));
   if (!cascade.ok()) {
     std::fprintf(stderr, "assert-tagged: cascade query failed: %s\n",
                  cascade.status().ToString().c_str());
@@ -235,7 +235,7 @@ int AssertTaggedPick() {
   }
 
   // (d): the COUNT(*) agrees with the canonical oracle everywhere.
-  auto oracle = db.Query(sql, QueryOptions(ExecutionStrategy::kCanonical));
+  auto oracle = db.Query(sql, QueryOptions::With(ExecutionStrategy::kCanonical));
   if (!oracle.ok()) {
     std::fprintf(stderr, "assert-tagged: canonical query failed: %s\n",
                  oracle.status().ToString().c_str());

@@ -8,12 +8,14 @@
 # row-vs-columnar kernel microbenchmarks, and the k-way tagged execution
 # sweep (one BypassPartition±[k] pass vs the Eqv. 2 / Eqv. 3 σ± cascades
 # across 3..5-way mixed-selectivity disjunctions, plus the cost-based
-# auto-pick probe), and writes BENCH_PR6.json. Prior PR reports
-# (BENCH_PR1..5.json) are never overwritten: each PR writes its own file
-# so the history stays comparable side by side.
+# auto-pick probe), and the serving-layer client sweep (1/4/8 clients
+# over a repeated query class: shared Server with plan cache + admission
+# vs one private Database per client), and writes BENCH_PR7.json. Prior
+# PR reports (BENCH_PR1..6.json) are never overwritten: each PR writes
+# its own file so the history stays comparable side by side.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR6.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR7.json)
 #
 # Every report embeds environment metadata — host CPU count plus the
 # compiler and flags captured in <build-dir>/build_info.json at configure
@@ -29,17 +31,18 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR6.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR7.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 HASH=${BUILD_DIR}/bench/bench_hash
 COL=${BUILD_DIR}/bench/bench_columnar
 TAGGED=${BUILD_DIR}/bench/bench_tagged
 Q2D=${BUILD_DIR}/bench/bench_q2d
 STATS=${BUILD_DIR}/bench/bench_stats
+SERVING=${BUILD_DIR}/bench/bench_serving
 BUILD_INFO=${BUILD_DIR}/build_info.json
 
 [[ -x ${OPS} && -x ${HASH} && -x ${COL} && -x ${TAGGED} && -x ${Q2D} &&
-   -x ${STATS} ]] || {
+   -x ${STATS} && -x ${SERVING} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -98,17 +101,30 @@ echo "== bench_stats (skew sweep, median of 5 each) =="
 STATS_JSON=$(mktemp)
 "${STATS}" --json 2>/dev/null >"${STATS_JSON}"
 
+echo "== bench_serving (1/4/8-client sweep, shared vs private) =="
+SERVING_JSON=$(mktemp)
+"${SERVING}" --json 2>/dev/null >"${SERVING_JSON}"
+
+echo "== bench_serving --assert-serving (plan-cache + oracle probe) =="
+if "${SERVING}" --assert-serving; then
+  SERVING_ASSERT=true
+else
+  SERVING_ASSERT=false
+fi
+
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
   "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" "${COL_JSON}" \
-  "${TAGGED_JSON}" "${TAGGED_AUTOPICK}" <<'EOF'
+  "${TAGGED_JSON}" "${TAGGED_AUTOPICK}" "${SERVING_JSON}" \
+  "${SERVING_ASSERT}" <<'EOF'
 import json
 import statistics
 import sys
 
 (ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json, hash_json,
- build_info, col_json, tagged_json, tagged_autopick) = sys.argv[1:12]
+ build_info, col_json, tagged_json, tagged_autopick, serving_json,
+ serving_assert) = sys.argv[1:14]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -126,12 +142,12 @@ except (OSError, json.JSONDecodeError):
     # Pre-refresh build dir: metadata appears after the next cmake run.
     env_meta["compiler"] = "unknown (re-run cmake for build_info.json)"
 
-report = {"benchmark": "BENCH_PR6", "protocol": "median-of-5",
+report = {"benchmark": "BENCH_PR7", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
           "environment": env_meta,
           "operators": {}, "bypass_select_thread_scaling": {},
           "hash_tables": {}, "columnar_kernels": {},
-          "tagged_kway": {},
+          "tagged_kway": {}, "serving": {},
           "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
           "stats_subsystem": {}}
 
@@ -263,6 +279,14 @@ report["tagged_kway"] = tagged_report
 with open(stats_json) as f:
     report["stats_subsystem"] = json.load(f)
 
+# Serving sweep: clients_{1,4,8} each pairing the shared Server (plan
+# cache + admission over one pool) against one private Database per
+# client; speedup_shared_vs_private is the throughput ratio, and
+# assert_serving records the oracle/hit-rate probe's verdict.
+with open(serving_json) as f:
+    report["serving"] = json.load(f)
+report["serving"]["assert_serving"] = serving_assert == "true"
+
 ops_scale = {}
 with open(ops_json) as f:
     for b in json.load(f)["benchmarks"]:
@@ -325,4 +349,4 @@ print(f"\nwrote {out_path}")
 EOF
 
 rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}" \
-  "${HASH_JSON}" "${COL_JSON}"
+  "${HASH_JSON}" "${COL_JSON}" "${SERVING_JSON}"

@@ -13,7 +13,7 @@ BIN=${BUILD_DIR}/bench
 for b in bench_operators bench_hash bench_columnar bench_tagged bench_q1 \
          bench_q2corr bench_q2d bench_q3_tree bench_q4_linear \
          bench_quantified bench_select_clause bench_ablation_rank \
-         bench_stats; do
+         bench_stats bench_serving; do
   [[ -x ${BIN}/${b} ]] || {
     echo "missing bench binary ${BIN}/${b} — build first" >&2
     exit 1
@@ -59,5 +59,11 @@ run "${BIN}/bench_quantified" --quick --rows-per-sf=20 --timeout=10
 run "${BIN}/bench_select_clause" --quick --rows-per-sf=20 --timeout=10
 run "${BIN}/bench_ablation_rank" --rows-per-sf=200 --sf=1 --reps=1
 run "${BIN}/bench_stats" --quick --rows=200 --json
+
+# Serving plumbing assertion: 4 clients x 50 queries through a shared
+# Server must all match the Database::Query oracle with a plan-cache hit
+# rate above 0.9 and consistent admission accounting. Exits nonzero on
+# failure.
+run "${BIN}/bench_serving" --assert-serving --rows=500
 
 echo "bench-smoke OK"

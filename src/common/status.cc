@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

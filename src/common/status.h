@@ -21,6 +21,7 @@ enum class StatusCode {
   kUnsupported,       ///< valid SQL outside the implemented subset
   kExecutionError,    ///< runtime failure (type error, division by zero, ...)
   kTimeout,           ///< query exceeded its time budget
+  kResourceExhausted, ///< memory budget / admission queue / slot exhausted
   kInternal,          ///< invariant violation; indicates a bug
 };
 
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

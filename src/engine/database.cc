@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "algebra/plan_util.h"
+#include "engine/server.h"
+#include "engine/session.h"
 #include "exec/subplan_impl.h"
 #include "expr/expr_util.h"
 #include "frontend/translator.h"
@@ -167,6 +169,16 @@ Result<PlannedLogical> PlanLogical(const Catalog* catalog,
 
 Result<QueryResult> PreparedQuery::Execute() { return Execute(options_); }
 
+bool PreparedQuery::IsStale() const {
+  if (db_ == nullptr) return false;
+  const Catalog* catalog = db_->catalog();
+  if (catalog->stats_epoch() == stats_epoch_) return false;
+  for (const auto& [table, version] : table_stats_versions_) {
+    if (catalog->TableStatsVersion(table) != version) return true;
+  }
+  return false;
+}
+
 Status PreparedQuery::ReplanIfStale() {
   // Fast path: the global epoch only moves when some table's statistics
   // change, so an equal epoch proves our plan is still current.
@@ -188,14 +200,69 @@ Status PreparedQuery::ReplanIfStale() {
   }
   BYPASS_ASSIGN_OR_RETURN(PreparedQuery fresh,
                           db_->Prepare(sql_, options_));
+  // Survive the wholesale move: the replan counter accumulates across
+  // re-plans, and the in-flight guard is the flag our caller (an active
+  // ExecuteWith) already set and will clear — swapping in fresh's unset
+  // flag would let a second Execute slip in mid-run.
   const int replans = replan_count_ + 1;
+  std::shared_ptr<std::atomic<bool>> guard = in_flight_;
   *this = std::move(fresh);
   replan_count_ = replans;
+  in_flight_ = std::move(guard);
   return Status::OK();
 }
 
 Result<QueryResult> PreparedQuery::Execute(
     const QueryOptions& run_options) {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument(
+        "Execute on an empty PreparedQuery (default-constructed or "
+        "moved-from)");
+  }
+  // Standalone default env: mirrors the historical behaviour — serial
+  // queries run without a pool, parallel ones on the database's shared
+  // pool grown to the requested width, budget from the run options.
+  QueryExecEnv env;
+  const int num_threads =
+      run_options.num_threads < 1 ? 1 : run_options.num_threads;
+  if (num_threads > 1) {
+    env.pool = db_->EnsurePool(num_threads);
+    env.num_worker_slots = env.pool->num_workers();
+    env.sched.max_workers = num_threads;
+    env.sched.max_worker_id = env.num_worker_slots;
+  }
+  if (run_options.memory_budget_bytes > 0) {
+    env.memory = std::make_shared<MemoryBudget>();
+    env.memory->limit =
+        static_cast<int64_t>(run_options.memory_budget_bytes);
+  }
+  return ExecuteWith(run_options, env);
+}
+
+Result<QueryResult> PreparedQuery::ExecuteWith(
+    const QueryOptions& run_options, const QueryExecEnv& env) {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument(
+        "Execute on an empty PreparedQuery (default-constructed or "
+        "moved-from)");
+  }
+  // The plan's operators and sink are shared mutable state; fail loudly
+  // on concurrent entry instead of racing. Hold the guard object itself:
+  // ReplanIfStale may replace every other member mid-run.
+  std::shared_ptr<std::atomic<bool>> guard = in_flight_;
+  bool expected = false;
+  if (!guard->compare_exchange_strong(expected, true,
+                                      std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "concurrent Execute on one PreparedQuery: runs are not "
+        "reentrant; prepare one handle per thread or route queries "
+        "through a Server session");
+  }
+  struct InFlightClearer {
+    std::shared_ptr<std::atomic<bool>> flag;
+    ~InFlightClearer() { flag->store(false, std::memory_order_release); }
+  } clearer{std::move(guard)};
+
   BYPASS_RETURN_IF_ERROR(ReplanIfStale());
   QueryResult result;
   result.schema = plan_.output_schema;
@@ -207,21 +274,22 @@ Result<QueryResult> PreparedQuery::Execute(
     result.physical_plan = plan_.ToString();
   }
 
-  const int num_threads =
-      run_options.num_threads < 1 ? 1 : run_options.num_threads;
+  const int num_worker_slots =
+      env.num_worker_slots < 1 ? 1 : env.num_worker_slots;
   ExecContext ctx;
   ctx.set_stats(&result.stats);
   ctx.set_batch_size(run_options.batch_size);
   ctx.set_morsel_size(run_options.morsel_size);
-  ctx.set_num_worker_slots(num_threads);
+  ctx.set_num_worker_slots(num_worker_slots);
   ctx.set_columnar_enabled(run_options.enable_columnar);
+  ctx.set_memory(env.memory);
   SharedWorkerStats worker_stats;
-  if (num_threads > 1) {
-    ctx.set_pool(db_->EnsurePool(num_threads));
+  if (env.pool != nullptr) {
+    ctx.set_pool(env.pool);
+    ctx.set_task_group_options(env.sched);
     // Route statistics to padded per-worker slots; aggregated below.
-    worker_stats =
-        std::make_shared<std::vector<ExecStatsSlot>>(
-            static_cast<size_t>(num_threads));
+    worker_stats = std::make_shared<std::vector<ExecStatsSlot>>(
+        static_cast<size_t>(num_worker_slots));
     ctx.set_worker_stats(worker_stats);
   }
   std::optional<std::chrono::steady_clock::time_point> deadline;
@@ -234,8 +302,8 @@ Result<QueryResult> PreparedQuery::Execute(
     // (benchmark repetitions must not inherit earlier runs' caches).
     subplan->ClearCache();
     subplan->Configure(deadline, &result.stats, ctx.batch_size(),
-                       worker_stats, num_threads,
-                       run_options.enable_columnar);
+                       worker_stats, num_worker_slots,
+                       run_options.enable_columnar, env.memory);
   }
 
   const auto exec_start = std::chrono::steady_clock::now();
@@ -258,6 +326,8 @@ Result<QueryResult> PreparedQuery::Execute(
 }
 
 // --------------------------------------------------------------- Database
+
+Database::Database() = default;
 
 Database::~Database() = default;
 
@@ -306,48 +376,86 @@ Result<std::vector<AnalyzeReport>> Database::AnalyzeAll(
   return reports;
 }
 
+Server* Database::server() {
+  std::call_once(server_once_, [this] {
+    // Compatibility defaults: elastic pool (ask for N threads, get N),
+    // admission wide enough that embedded use never queues, plan cache
+    // off so standalone Query/Prepare semantics (fresh plan per call)
+    // are exactly the historical ones. Dedicated servers tighten these.
+    ServerOptions opts;
+    opts.num_workers = 0;
+    opts.max_concurrent_queries = 64;
+    opts.max_pending_queries = 4096;
+    opts.plan_cache_entries = 0;
+    server_ = std::make_unique<Server>(this, opts);
+    default_session_ = server_->Connect(/*priority=*/0);
+  });
+  return server_.get();
+}
+
+Session* Database::default_session() {
+  server();  // ensure created
+  return default_session_.get();
+}
+
 WorkerPool* Database::EnsurePool(int num_threads) {
-  if (pool_ == nullptr || pool_->num_workers() != num_threads) {
-    pool_ = std::make_unique<WorkerPool>(num_threads);
-  }
-  return pool_.get();
+  WorkerPool* pool = server()->pool();
+  pool->EnsureWorkers(num_threads);
+  return pool;
 }
 
 Result<PreparedQuery> Database::Prepare(const std::string& sql,
                                         const QueryOptions& options) {
-  const auto optimize_start = std::chrono::steady_clock::now();
-  BYPASS_ASSIGN_OR_RETURN(PlannedLogical planned,
-                          PlanLogical(&catalog_, sql, options));
-  PlannerOptions popts;
-  popts.memoize_subqueries = options.memoize_subqueries;
-  Planner planner(&catalog_, popts);
+  // Statistics discipline: snapshot the epoch *before* planning. ANALYZE
+  // may publish new statistics while we plan; stamping the newer epoch
+  // onto a plan costed against the older snapshot would declare it
+  // permanently fresh. With the pre-planning epoch recorded, a re-read
+  // after planning detects the race and we simply plan again (bounded —
+  // back-to-back ANALYZE races are transient).
   PreparedQuery prepared;
-  BYPASS_ASSIGN_OR_RETURN(prepared.plan_,
-                          planner.Lower(planned.optimized));
-  prepared.optimize_time_ =
-      std::chrono::steady_clock::now() - optimize_start;
-  prepared.db_ = this;
-  prepared.options_ = options;
-  prepared.applied_rules_ = std::move(planned.applied_rules);
-  prepared.sql_ = sql;
-  prepared.stats_epoch_ = catalog_.stats_epoch();
-  std::set<std::string> referenced;
-  CollectReferencedTables(planned.canonical, &referenced);
-  for (const std::string& table : referenced) {
-    prepared.table_stats_versions_.emplace_back(
-        table, catalog_.TableStatsVersion(table));
-  }
-  if (options.collect_plans) {
-    prepared.canonical_plan_ = PlanToString(*planned.canonical);
-    prepared.optimized_plan_ = PlanToString(*planned.optimized);
+  for (int attempt = 0;; ++attempt) {
+    prepared = PreparedQuery();
+    const uint64_t epoch_before = catalog_.stats_epoch();
+    const auto optimize_start = std::chrono::steady_clock::now();
+    BYPASS_ASSIGN_OR_RETURN(PlannedLogical planned,
+                            PlanLogical(&catalog_, sql, options));
+    PlannerOptions popts;
+    popts.memoize_subqueries = options.memoize_subqueries;
+    Planner planner(&catalog_, popts);
+    BYPASS_ASSIGN_OR_RETURN(prepared.plan_,
+                            planner.Lower(planned.optimized));
+    prepared.optimize_time_ =
+        std::chrono::steady_clock::now() - optimize_start;
+    prepared.db_ = this;
+    prepared.options_ = options;
+    prepared.applied_rules_ = std::move(planned.applied_rules);
+    prepared.sql_ = sql;
+    prepared.stats_epoch_ = epoch_before;
+    std::set<std::string> referenced;
+    CollectReferencedTables(planned.canonical, &referenced);
+    for (const std::string& table : referenced) {
+      prepared.table_stats_versions_.emplace_back(
+          table, catalog_.TableStatsVersion(table));
+    }
+    if (options.collect_plans) {
+      prepared.canonical_plan_ = PlanToString(*planned.canonical);
+      prepared.optimized_plan_ = PlanToString(*planned.optimized);
+    }
+    if (catalog_.stats_epoch() == epoch_before || attempt >= 2) {
+      // No ANALYZE raced the planning (or we stop chasing a stats
+      // churner; the recorded pre-planning epoch keeps the staleness
+      // check conservative either way).
+      break;
+    }
   }
   return prepared;
 }
 
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options) {
-  BYPASS_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql, options));
-  return prepared.Execute();
+  // Through the embedded server's default session: same execution as
+  // before, now under the shared scheduler with every other client.
+  return default_session()->Query(sql, options);
 }
 
 Result<std::string> Database::Explain(const std::string& sql,

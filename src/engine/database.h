@@ -8,11 +8,20 @@
 //   Prepare(sql, options)  parse/optimize/lower once, Execute() many
 //                          times — each run may vary the execution knobs
 //                          (threads, batch size, timeout).
+//
+// Both are thin wrappers over a lazily created embedded Server (see
+// engine/server.h): every query — including these compatibility entry
+// points — executes through the same admission control and shared worker
+// pool that concurrent Sessions use. For multi-client serving (async
+// submission, plan cache, priorities, memory budgets) open sessions via
+// Database::server()->Connect().
 #ifndef BYPASSDB_ENGINE_DATABASE_H_
 #define BYPASSDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -32,6 +41,30 @@
 namespace bypass {
 
 class Database;
+class Server;
+class Session;
+struct ServerOptions;
+
+/// Everything a PreparedQuery execution needs from its surroundings:
+/// which pool drives parallel scans, how its task groups are scheduled
+/// against other queries on that pool, and which memory budget buffering
+/// operators charge. Standalone Execute() builds a default env from the
+/// run options; the serving layer (engine/server.h) builds one per
+/// admitted query from the shared pool and the server's budgets.
+struct QueryExecEnv {
+  /// Pool for morsel-parallel scans; nullptr = serial execution on the
+  /// calling thread regardless of num_threads.
+  WorkerPool* pool = nullptr;
+  /// Per-worker operator-state slots to allocate; must be an upper bound
+  /// on every worker id that can touch this query (pool size at admission
+  /// time for shared pools). sched.max_worker_id must not exceed it.
+  int num_worker_slots = 1;
+  /// Priority / intra-query worker cap / worker-id bound for this
+  /// query's ParallelFor rounds on a shared pool.
+  TaskGroupOptions sched;
+  /// Memory budget charged by buffering operators; nullptr = unbudgeted.
+  SharedMemoryBudget memory;
+};
 
 /// What ANALYZE did for one table.
 struct AnalyzeReport {
@@ -43,14 +76,22 @@ struct AnalyzeReport {
 
 /// A parsed, optimized, and lowered SELECT, ready to run repeatedly.
 /// Movable, not copyable; must not outlive its Database, and runs are not
-/// reentrant (one Execute at a time per PreparedQuery). Plan-shape
-/// options are baked in at Prepare time; each Execute may override the
-/// execution knobs (num_threads, morsel_size, batch_size, timeout,
-/// collect_plans). If ANALYZE refreshes statistics for a table the plan
-/// references, the next Execute transparently re-plans against the new
-/// statistics (cheap epoch check when nothing changed).
+/// reentrant: the plan's operators are shared mutable state, so a second
+/// Execute while one is in flight fails loudly with InvalidArgument
+/// instead of racing. Callers that want concurrency prepare one handle
+/// per thread or go through the serving layer's plan cache, which pools
+/// idle handles (engine/plan_cache.h). Plan-shape options are baked in at
+/// Prepare time; each Execute may override the execution knobs
+/// (num_threads, morsel_size, batch_size, timeout, collect_plans). If
+/// ANALYZE refreshes statistics for a table the plan references, the next
+/// Execute transparently re-plans against the new statistics (cheap epoch
+/// check when nothing changed).
 class PreparedQuery {
  public:
+  /// An empty handle (no plan); Execute on it fails with
+  /// InvalidArgument. Assign from Database::Prepare to fill it — lets
+  /// containers and lease types hold handles by value.
+  PreparedQuery() = default;
   PreparedQuery(PreparedQuery&&) = default;
   PreparedQuery& operator=(PreparedQuery&&) = default;
   PreparedQuery(const PreparedQuery&) = delete;
@@ -61,6 +102,16 @@ class PreparedQuery {
   /// Runs with `run_options`' execution knobs. Plan-shape knobs (unnest,
   /// memoize_subqueries, ...) are ignored here — the plan is fixed.
   Result<QueryResult> Execute(const QueryOptions& run_options);
+  /// Advanced entry point: runs under an externally provided pool,
+  /// scheduler parameters, and memory budget — how the serving layer
+  /// executes admitted queries on the shared pool. `env.num_worker_slots`
+  /// must bound every worker id the env's pool may assign.
+  Result<QueryResult> ExecuteWith(const QueryOptions& run_options,
+                                  const QueryExecEnv& env);
+  /// True when the catalog's statistics moved for a table this plan
+  /// reads (the next Execute would re-plan). Used by the plan cache to
+  /// evict stale entries without executing them.
+  bool IsStale() const;
 
   const Schema& output_schema() const { return plan_.output_schema; }
   const QueryOptions& options() const { return options_; }
@@ -80,7 +131,6 @@ class PreparedQuery {
 
  private:
   friend class Database;
-  PreparedQuery() = default;
 
   /// Re-plans through Database::Prepare when the catalog's statistics
   /// changed for a table this plan references.
@@ -99,11 +149,16 @@ class PreparedQuery {
   uint64_t stats_epoch_ = 0;
   std::vector<std::pair<std::string, uint64_t>> table_stats_versions_;
   int replan_count_ = 0;
+  /// Non-reentrancy guard: set for the duration of ExecuteWith. On the
+  /// heap (not inline) because atomics are not movable and the handle is;
+  /// shared so an in-flight run keeps the flag alive across moves.
+  std::shared_ptr<std::atomic<bool>> in_flight_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 class Database {
  public:
-  Database() = default;
+  Database();  // out of line: members need the complete Server type
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -142,15 +197,31 @@ class Database {
   Result<std::string> Explain(const std::string& sql,
                               const QueryOptions& options = QueryOptions());
 
+  /// The embedded server every query of this Database runs through,
+  /// created lazily (thread-safe) with compatibility-preserving defaults:
+  /// elastic pool, effectively unlimited admission, plan cache off. Open
+  /// concurrent client sessions with server()->Connect(). To serve with
+  /// tighter admission / budgets / plan caching, construct a dedicated
+  /// Server over this database instead (engine/server.h).
+  Server* server();
+
+  /// The session behind the compatibility entry points above (priority 0,
+  /// direct synchronous execution).
+  Session* default_session();
+
  private:
   friend class PreparedQuery;
+  friend class Server;
 
-  /// Lazily (re)builds the shared worker pool so it has exactly
-  /// `num_threads` workers.
+  /// Grows the embedded server's shared pool to at least `num_threads`
+  /// workers and returns it (compatibility shim; historically each
+  /// Database owned a private pool rebuilt per thread count).
   WorkerPool* EnsurePool(int num_threads);
 
   Catalog catalog_;
-  std::unique_ptr<WorkerPool> pool_;
+  std::once_flag server_once_;
+  std::unique_ptr<Server> server_;
+  std::shared_ptr<Session> default_session_;
 };
 
 }  // namespace bypass

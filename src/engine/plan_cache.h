@@ -1,0 +1,124 @@
+// PlanCache: the serving layer's prepared-plan reuse (DESIGN.md §10).
+// Entries are keyed on normalized SQL text plus a fingerprint of the
+// plan-shape options — two clients asking for the same query under
+// different strategies get different plans, while whitespace and
+// execution-knob differences (threads, batch size, timeout) share one.
+//
+// Each entry holds a small pool of *idle* PreparedQuery handles. A hit
+// leases one handle out of the pool — PreparedQuery is deliberately
+// non-reentrant, so concurrent identical queries each lease their own
+// handle (a burst of N identical queries keeps at most
+// kMaxIdleHandlesPerEntry + in-flight handles alive). Releasing a lease
+// returns the handle for reuse unless the entry was evicted meanwhile.
+//
+// Invalidation reuses the PreparedQuery staleness machinery: entries
+// whose statistics moved are swept out by EvictStale (cheap epoch check
+// first), and a leased handle that slipped past a sweep still self-heals
+// through ReplanIfStale on execution. Capacity is a hard LRU bound
+// (PlanCacheOptions::max_entries) so ANALYZE churn or ad-hoc query storms
+// cannot grow the cache without limit.
+#ifndef BYPASSDB_ENGINE_PLAN_CACHE_H_
+#define BYPASSDB_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace bypass {
+
+struct PlanCacheOptions {
+  /// Hard bound on distinct cached (sql, shape) keys; least recently
+  /// used entries are evicted beyond it. 0 disables caching entirely.
+  size_t max_entries = 128;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Entries dropped by the LRU capacity bound.
+  uint64_t capacity_evictions = 0;
+  /// Entries dropped because their statistics went stale.
+  uint64_t stale_evictions = 0;
+  size_t entries = 0;  ///< current distinct keys
+
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Cache key for one plan: normalized SQL + plan-shape fingerprint.
+std::string PlanCacheKey(const std::string& sql,
+                         const QueryOptions& options);
+
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options) : options_(options) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// A leased prepared handle. Move-only; must be handed back via
+  /// Release (the serving layer does this after execution) — dropping a
+  /// lease without releasing simply forfeits the handle, it does not
+  /// corrupt the cache.
+  struct Lease {
+    PreparedQuery prepared;
+    std::string key;
+    bool from_cache = false;  ///< hit (true) or freshly prepared
+  };
+
+  /// Returns a prepared handle for (sql, options): an idle cached handle
+  /// when one exists (hit), otherwise prepares through `db` (miss) —
+  /// planning happens outside the cache lock, so concurrent misses on
+  /// the same key plan independently and both handles join the pool on
+  /// release. With max_entries == 0 every call is a plain Prepare.
+  Result<Lease> Acquire(Database* db, const std::string& sql,
+                        const QueryOptions& options);
+
+  /// Returns a leased handle to its entry's idle pool for reuse. No-op
+  /// (handle destroyed) when the entry was evicted while leased, when
+  /// the pool is already full, or when the handle went stale.
+  void Release(Lease lease);
+
+  /// Evicts every entry whose referenced tables' statistics changed.
+  /// Cheap when nothing moved: a catalog-epoch comparison short-circuits
+  /// the per-entry staleness checks. Called by the server on its query
+  /// path after ANALYZE activity.
+  void EvictStale(const Catalog* catalog);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  /// Idle handles retained per entry; bounds memory under bursts of
+  /// concurrent identical queries.
+  static constexpr size_t kMaxIdleHandlesPerEntry = 4;
+
+  struct Entry {
+    std::vector<PreparedQuery> idle;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Removes `it`'s entry from map + LRU list. Caller holds mu_.
+  void EvictLocked(std::unordered_map<std::string, Entry>::iterator it);
+
+  const PlanCacheOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< keys, most recently used first
+  /// Catalog epoch at the last EvictStale sweep; equal epoch = no-op.
+  uint64_t swept_epoch_ = 0;
+  PlanCacheStats stats_;
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_ENGINE_PLAN_CACHE_H_

@@ -57,9 +57,22 @@ inline const char* ExecutionStrategyToString(ExecutionStrategy s) {
 
 struct QueryOptions {
   QueryOptions() = default;
-  /// Implicit on purpose: `db.Query(sql, ExecutionStrategy::kCanonical)`.
+  /// \deprecated Implicit strategy-to-options conversion predates the
+  /// serving API and hides an options object behind an enum at call
+  /// sites. Use the explicit factory `QueryOptions::With(strategy)`
+  /// instead; this constructor remains only for source compatibility
+  /// with older callers.
   QueryOptions(ExecutionStrategy strategy) {  // NOLINT(runtime/explicit)
     set_strategy(strategy);
+  }
+
+  /// Options preset to the given strategy — the explicit replacement for
+  /// the deprecated converting constructor above:
+  ///   db.Query(sql, QueryOptions::With(ExecutionStrategy::kCanonical))
+  static QueryOptions With(ExecutionStrategy strategy) {
+    QueryOptions options;
+    options.set_strategy(strategy);
+    return options;
   }
 
   /// Presets the four plan-shape knobs below. Later direct writes to the
@@ -134,6 +147,21 @@ struct QueryOptions {
   /// cardinality feedback). The write bumps the statistics epoch, so
   /// prepared queries over the affected tables re-plan on their next run.
   bool refresh_stats = false;
+
+  // --- Scheduling knobs (honoured by the serving layer; see
+  //     engine/server.h). Standalone Database::Query still applies the
+  //     memory budget; priority only matters once queries share a pool.
+
+  /// Scheduling priority relative to other queries on the same Server:
+  /// higher admits and claims shared-pool workers first. Added to the
+  /// submitting session's priority.
+  int priority = 0;
+  /// Per-query memory budget in bytes for buffering operators (result
+  /// collection, join build sides), enforced through
+  /// ExecContext::ChargeMemory. 0 = the server's default (or unlimited
+  /// for standalone use). Exceeding it fails the query with
+  /// ResourceExhausted instead of growing without bound.
+  size_t memory_budget_bytes = 0;
 };
 
 struct QueryResult {

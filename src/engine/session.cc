@@ -1,0 +1,22 @@
+#include "engine/session.h"
+
+namespace bypass {
+
+Result<QueryResult> Session::Query(const std::string& sql,
+                                   const QueryOptions& options) {
+  queries_issued_.fetch_add(1, std::memory_order_relaxed);
+  return server_->Execute(sql, options, EffectivePriority(options));
+}
+
+QueryHandle Session::Submit(std::string sql, QueryOptions options) {
+  queries_issued_.fetch_add(1, std::memory_order_relaxed);
+  const int priority = EffectivePriority(options);
+  return server_->Submit(std::move(sql), std::move(options), priority);
+}
+
+Result<PreparedQuery> Session::Prepare(const std::string& sql,
+                                       const QueryOptions& options) {
+  return server_->database()->Prepare(sql, options);
+}
+
+}  // namespace bypass

@@ -1,0 +1,82 @@
+// Session: one client's endpoint onto a Server (DESIGN.md §10). Sessions
+// are cheap handles — all heavy state (pool, admission, plan cache)
+// lives in the Server — carrying the client's base priority and simple
+// submission counters. Obtain one via Server::Connect; it must not
+// outlive its Server.
+//
+//   session->Query(sql, opts)   synchronous: admission wait + execution
+//                               on the calling thread.
+//   session->Submit(sql, opts)  asynchronous: returns a QueryHandle to
+//                               Poll/Wait while a server dispatcher runs
+//                               the query.
+//   session->Prepare(sql, opts) client-held prepared handle (bypasses
+//                               the plan cache — the client *is* the
+//                               cache for handles it keeps).
+//
+// A query's effective scheduling priority is the session's priority plus
+// QueryOptions::priority, so a session can be globally deprioritized
+// (e.g. a batch-report client at -10) while individual queries still
+// nudge themselves up or down.
+#ifndef BYPASSDB_ENGINE_SESSION_H_
+#define BYPASSDB_ENGINE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "engine/server.h"
+
+namespace bypass {
+
+class Session {
+ public:
+  /// Use Server::Connect instead of constructing directly.
+  Session(Server* server, int priority)
+      : server_(server), priority_(priority) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs one SELECT synchronously under this session's priority:
+  /// blocks through admission when the server is saturated, executes on
+  /// the calling thread against the shared pool.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = QueryOptions());
+
+  /// Submits one SELECT for asynchronous execution; never blocks. The
+  /// returned handle reports ResourceExhausted when the server's
+  /// pending queue was full (backpressure) — check Wait's status.
+  QueryHandle Submit(std::string sql,
+                     QueryOptions options = QueryOptions());
+
+  /// Prepares a client-held handle (see PreparedQuery). Not routed
+  /// through the plan cache: the client keeps and reuses the handle.
+  Result<PreparedQuery> Prepare(
+      const std::string& sql,
+      const QueryOptions& options = QueryOptions());
+
+  Server* server() { return server_; }
+  /// Base priority added to every query's QueryOptions::priority.
+  int priority() const {
+    return priority_.load(std::memory_order_relaxed);
+  }
+  void set_priority(int p) {
+    priority_.store(p, std::memory_order_relaxed);
+  }
+  /// Queries issued through this session (sync + async).
+  uint64_t queries_issued() const {
+    return queries_issued_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int EffectivePriority(const QueryOptions& options) const {
+    return priority() + options.priority;
+  }
+
+  Server* const server_;
+  std::atomic<int> priority_;
+  std::atomic<uint64_t> queries_issued_{0};
+};
+
+}  // namespace bypass
+
+#endif  // BYPASSDB_ENGINE_SESSION_H_

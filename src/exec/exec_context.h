@@ -74,6 +74,26 @@ struct alignas(64) ExecStatsSlot {
 };
 using SharedWorkerStats = std::shared_ptr<std::vector<ExecStatsSlot>>;
 
+/// Memory accounting for one query execution, shared by the main plan's
+/// context and every subplan context. Buffering operators charge an
+/// approximation of the bytes they retain; once `used` exceeds a non-zero
+/// `limit` the query fails with ResourceExhausted instead of growing
+/// without bound. The serving layer (engine/server.h) hands per-query
+/// budgets out of its process-wide budget through this hook.
+struct MemoryBudget {
+  std::atomic<int64_t> used{0};
+  int64_t limit = 0;  ///< bytes; 0 = track only, never fail
+};
+using SharedMemoryBudget = std::shared_ptr<MemoryBudget>;
+
+/// Rough retained-bytes estimate for `rows` buffered rows of `width`
+/// Values each (vector headers included; string payloads are not
+/// inspected — the budget bounds growth, it is not an allocator).
+inline int64_t ApproxRowsBytes(size_t rows, size_t width) {
+  return static_cast<int64_t>(rows) *
+         static_cast<int64_t>(width * sizeof(Value) + sizeof(Row));
+}
+
 class ExecContext {
  public:
   ExecContext() = default;
@@ -149,6 +169,38 @@ class ExecContext {
   WorkerPool* pool() const { return pool_; }
   void set_pool(WorkerPool* pool) { pool_ = pool; }
 
+  /// Scheduling parameters the executor passes to WorkerPool::ParallelFor
+  /// for this query's morsel rounds: priority, the intra-query worker cap
+  /// (num_threads), and the worker-id bound matching num_worker_slots.
+  const TaskGroupOptions& task_group_options() const { return sched_; }
+  void set_task_group_options(const TaskGroupOptions& opts) {
+    sched_ = opts;
+  }
+
+  /// Per-query memory accounting; nullptr = unbudgeted (the default for
+  /// standalone library use). Shared with every subplan context.
+  const SharedMemoryBudget& memory() const { return memory_; }
+  void set_memory(SharedMemoryBudget memory) {
+    memory_ = std::move(memory);
+  }
+
+  /// Charges `bytes` of retained memory against the query's budget;
+  /// ResourceExhausted once a non-zero limit is exceeded. Called by
+  /// buffering operators (result sink, join build side) at batch
+  /// granularity; relaxed order suffices — the check is a bound, not an
+  /// exact account.
+  Status ChargeMemory(int64_t bytes) {
+    if (memory_ == nullptr) return Status::OK();
+    const int64_t used =
+        memory_->used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (memory_->limit > 0 && used > memory_->limit) {
+      return Status::ResourceExhausted(
+          "query exceeded its memory budget (" + std::to_string(used) +
+          " of " + std::to_string(memory_->limit) + " bytes)");
+    }
+    return Status::OK();
+  }
+
   /// Number of per-worker state slots operators must allocate. This is
   /// the *query's* worker count even for (serial) subplan contexts,
   /// because a subplan runs on the worker thread that evaluates it and
@@ -179,6 +231,8 @@ class ExecContext {
   bool columnar_enabled_ = true;
   size_t morsel_size_ = kDefaultMorselSize;
   WorkerPool* pool_ = nullptr;
+  TaskGroupOptions sched_;
+  SharedMemoryBudget memory_;
   int num_worker_slots_ = 1;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;

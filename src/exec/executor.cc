@@ -23,12 +23,14 @@ Status DriveSource(TableScanOp* source, ExecContext* ctx) {
   const size_t num_rows = source->num_rows();
   const size_t morsel = ctx->morsel_size();
   const size_t num_morsels = (num_rows + morsel - 1) / morsel;
-  BYPASS_RETURN_IF_ERROR(
-      pool->ParallelFor(num_morsels, [&](size_t m) {
+  BYPASS_RETURN_IF_ERROR(pool->ParallelFor(
+      num_morsels,
+      [&](size_t m) {
         const size_t begin = m * morsel;
         return source->RunMorsel(begin,
                                  std::min(begin + morsel, num_rows));
-      }));
+      },
+      ctx->task_group_options()));
   return source->FinishSource();
 }
 

@@ -148,6 +148,11 @@ Status BinaryPhysOp::Consume(int in_port, RowBatch batch) {
       buffers_[static_cast<size_t>(CurrentWorkerId())];
   if (in_port == kRight) {
     BYPASS_CHECK_MSG(!right_done_, "batch after right-side finish");
+    // The build side is retained until the join finishes — the other
+    // place a query's footprint scales with an input, so it pays into
+    // the memory budget alongside the collector sink.
+    BYPASS_RETURN_IF_ERROR(ctx_->ChargeMemory(ApproxRowsBytes(
+        batch.size(), batch.size() > 0 ? batch.row(0).size() : 0)));
     batch.ConsumeRowsInto(&buffers.right);
     return Status::OK();
   }

@@ -34,6 +34,10 @@ Status CollectorSink::Consume(int, RowBatch batch) {
   if (ExecStats* stats = ctx_->stats(); stats != nullptr) {
     stats->rows_emitted += static_cast<int64_t>(batch.size());
   }
+  // The collector retains every result row until the client takes them —
+  // the main place an unbudgeted query grows without bound.
+  BYPASS_RETURN_IF_ERROR(ctx_->ChargeMemory(ApproxRowsBytes(
+      batch.size(), batch.size() > 0 ? batch.row(0).size() : 0)));
   batch.ConsumeRowsInto(
       &partials_[static_cast<size_t>(CurrentWorkerId())].rows);
   return Status::OK();

@@ -11,7 +11,8 @@ ExecSubplan::ExecSubplan(PhysicalPlan plan,
 void ExecSubplan::Configure(
     std::optional<std::chrono::steady_clock::time_point> deadline,
     ExecStats* stats, size_t batch_size, SharedWorkerStats worker_stats,
-    int num_worker_slots, bool enable_columnar) {
+    int num_worker_slots, bool enable_columnar,
+    SharedMemoryBudget memory) {
   if (deadline.has_value()) {
     ctx_.set_deadline(*deadline);
   } else {
@@ -24,9 +25,10 @@ void ExecSubplan::Configure(
   // but its operators must have a state slot for that worker's id.
   ctx_.set_num_worker_slots(num_worker_slots);
   ctx_.set_columnar_enabled(enable_columnar);
+  ctx_.set_memory(memory);
   for (ExecSubplan* nested : plan_.subplans) {
     nested->Configure(deadline, stats, batch_size, worker_stats,
-                      num_worker_slots, enable_columnar);
+                      num_worker_slots, enable_columnar, memory);
   }
 }
 

@@ -45,15 +45,17 @@ class ExecSubplan : public CorrelatedSubplan {
   }
 
   /// Propagates the query's deadline, stats sinks, batch size,
-  /// worker-slot count, and the columnar toggle into this block's
-  /// private execution context (called by the engine before running).
-  /// `worker_stats` may be null; `num_worker_slots` must cover every
-  /// worker id that can evaluate expressions referencing this subplan.
+  /// worker-slot count, the columnar toggle, and the shared memory
+  /// budget into this block's private execution context (called by the
+  /// engine before running). `worker_stats` and `memory` may be null;
+  /// `num_worker_slots` must cover every worker id that can evaluate
+  /// expressions referencing this subplan.
   void Configure(std::optional<std::chrono::steady_clock::time_point>
                      deadline,
                  ExecStats* stats, size_t batch_size,
                  SharedWorkerStats worker_stats = nullptr,
-                 int num_worker_slots = 1, bool enable_columnar = true);
+                 int num_worker_slots = 1, bool enable_columnar = true,
+                 SharedMemoryBudget memory = nullptr);
 
   /// Drops memoized results (between benchmark repetitions).
   void ClearCache();

@@ -1,5 +1,7 @@
 #include "exec/worker_pool.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace bypass {
@@ -12,8 +14,9 @@ int CurrentWorkerId() { return tls_worker_id; }
 
 WorkerPool::WorkerPool(int num_workers)
     : num_workers_(num_workers < 1 ? 1 : num_workers) {
-  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
-  for (int w = 1; w < num_workers_; ++w) {
+  const int n = num_workers_.load(std::memory_order_relaxed);
+  threads_.reserve(static_cast<size_t>(n - 1));
+  for (int w = 1; w < n; ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
   }
 }
@@ -27,68 +30,94 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void WorkerPool::WorkerLoop(int worker_id) {
-  tls_worker_id = worker_id;
-  std::unique_lock<std::mutex> lock(mu_);
-  uint64_t seen_round = 0;
-  while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || round_ != seen_round; });
-    if (shutdown_) return;
-    seen_round = round_;
-    ++active_workers_;
-    lock.unlock();
-    RunTasks();
-    lock.lock();
-    if (--active_workers_ == 0) done_cv_.notify_all();
+void WorkerPool::EnsureWorkers(int n) {
+  if (n <= num_workers()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int current = num_workers_.load(std::memory_order_relaxed);
+  for (int w = current; w < n; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  if (n > current) {
+    num_workers_.store(n, std::memory_order_release);
   }
 }
 
-void WorkerPool::RunTasks() {
+std::shared_ptr<WorkerPool::TaskGroup> WorkerPool::PickGroup(
+    int worker_id) const {
+  std::shared_ptr<TaskGroup> best;
+  for (const std::shared_ptr<TaskGroup>& g : groups_) {
+    if (!g->Claimable(worker_id)) continue;
+    // groups_ is in submission order, so the first claimable group of
+    // the best priority is also the FIFO winner within that priority.
+    if (best == nullptr || g->options.priority > best->options.priority) {
+      best = g;
+    }
+  }
+  return best;
+}
+
+void WorkerPool::RunOneTask(const std::shared_ptr<TaskGroup>& group,
+                            std::unique_lock<std::mutex>& lock) {
+  const size_t task = group->next++;
+  ++group->active;
+  lock.unlock();
+  Status st = (*group->fn)(task);
+  lock.lock();
+  --group->active;
+  ++group->completed;
+  if (!st.ok()) {
+    group->abort = true;
+    if (group->first_error.ok()) group->first_error = std::move(st);
+  }
+  if (group->AllDone()) {
+    groups_.erase(std::find(groups_.begin(), groups_.end(), group));
+  }
+  // Wake drivers on every completion: the owning driver may now claim
+  // again (a worker slot freed under max_workers) or observe AllDone.
+  done_cv_.notify_all();
+}
+
+void WorkerPool::WorkerLoop(int worker_id) {
+  tls_worker_id = worker_id;
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (task >= num_tasks_ || abort_.load(std::memory_order_relaxed)) {
-      return;
+    std::shared_ptr<TaskGroup> group = PickGroup(worker_id);
+    if (group == nullptr) {
+      if (shutdown_) return;
+      work_cv_.wait(lock);
+      continue;
     }
-    Status st = (*fn_)(task);
-    if (!st.ok()) {
-      abort_.store(true, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_error_.ok()) first_error_ = std::move(st);
-    }
+    RunOneTask(group, lock);
   }
 }
 
 Status WorkerPool::ParallelFor(
-    size_t num_tasks, const std::function<Status(size_t task)>& fn) {
+    size_t num_tasks, const std::function<Status(size_t task)>& fn,
+    const TaskGroupOptions& options) {
   if (num_tasks == 0) return Status::OK();
   BYPASS_CHECK_MSG(tls_worker_id == 0,
-                   "ParallelFor is driver-only and not reentrant");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
-    num_tasks_ = num_tasks;
-    first_error_ = Status::OK();
-    next_task_.store(0, std::memory_order_relaxed);
-    abort_.store(false, std::memory_order_relaxed);
-    ++round_;
-  }
-  work_cv_.notify_all();
-  // The caller works the round as worker 0 (its tls id already is 0).
-  RunTasks();
+                   "ParallelFor must not be called from a pool worker "
+                   "(tasks are not reentrant)");
+  auto group = std::make_shared<TaskGroup>();
+  group->fn = &fn;
+  group->num_tasks = num_tasks;
+  group->options = options;
+
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    // Workers that never woke before the round drained simply skip it:
-    // they re-check round_ against their seen counter only when woken,
-    // but all tasks are claimed through next_task_, so completion is
-    // "no active worker and no unclaimed task" (or an aborted round).
-    return active_workers_ == 0 &&
-           (abort_.load(std::memory_order_relaxed) ||
-            next_task_.load(std::memory_order_relaxed) >= num_tasks_);
-  });
-  // Mark the round consumed so late-waking workers have nothing to do.
-  num_tasks_ = 0;
-  fn_ = nullptr;
-  return first_error_;
+  group->seq = ++group_seq_;
+  groups_.push_back(group);
+  work_cv_.notify_all();
+  // The caller drives its own group as worker 0 (its tls id is 0); when
+  // the group's worker cap is reached it waits for completions, resuming
+  // claims as slots free up.
+  while (!group->AllDone()) {
+    if (group->Claimable(/*worker_id=*/0)) {
+      RunOneTask(group, lock);
+      continue;
+    }
+    done_cv_.wait(lock);
+  }
+  return group->first_error;
 }
 
 }  // namespace bypass

@@ -1,10 +1,13 @@
-// WorkerPool: the shared thread pool behind morsel-driven intra-query
-// parallelism. The executor splits every table scan into fixed-size
-// morsels and dispatches them here; each worker drives the pipeline's
-// Consume chain for its morsel, touching only worker-local operator
-// state (see exec/phys_op.h). The calling thread always participates as
-// worker 0, so a pool of size 1 spawns no threads and degenerates to the
-// serial executor — the differential-testing oracle.
+// WorkerPool: the process-wide thread pool behind morsel-driven
+// parallelism. Originally each query privately owned a pool and
+// ParallelFor ran one task round at a time; the serving layer (see
+// engine/server.h and DESIGN.md §10) generalized it into a multi-query
+// scheduler: any number of driver threads may run ParallelFor
+// concurrently, each call forms a *task group*, and the pool's workers
+// multiplex across all live groups — highest priority first, FIFO within
+// a priority. A driver only ever works on its own group, so a pool of
+// size 1 (no threads) still degenerates to the serial executor for every
+// caller — the differential-testing oracle.
 #ifndef BYPASSDB_EXEC_WORKER_POOL_H_
 #define BYPASSDB_EXEC_WORKER_POOL_H_
 
@@ -12,6 +15,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -22,52 +26,107 @@ namespace bypass {
 
 /// Id of the worker the current thread is acting as, in
 /// [0, WorkerPool::num_workers()). Threads outside any ParallelFor —
-/// including the driver thread between pipeline phases — report 0, so
+/// including every driver thread between pipeline phases — report 0, so
 /// serial code paths always use worker slot 0. Operators index their
 /// per-worker state with this.
 int CurrentWorkerId();
 
+/// Scheduling parameters of one ParallelFor call (one task group).
+struct TaskGroupOptions {
+  /// Higher-priority groups are claimed first when workers are
+  /// contended; ties break FIFO by submission order.
+  int priority = 0;
+  /// Cap on workers (driver included) concurrently inside this group's
+  /// tasks — the query's intra-query parallelism. 0 = unlimited.
+  int max_workers = 0;
+  /// Pool workers with id >= max_worker_id never claim this group's
+  /// tasks (0 = no bound). Queries size per-worker operator state by
+  /// this, so it must stay an upper bound on participating worker ids
+  /// even while the pool grows under other queries.
+  int max_worker_id = 0;
+};
+
 class WorkerPool {
  public:
   /// A pool of `num_workers` total workers: `num_workers - 1` persistent
-  /// threads plus the caller of ParallelFor, which participates as
-  /// worker 0.
+  /// threads plus whichever thread calls ParallelFor, which participates
+  /// as worker 0.
   explicit WorkerPool(int num_workers);
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  int num_workers() const { return num_workers_; }
+  int num_workers() const {
+    return num_workers_.load(std::memory_order_acquire);
+  }
 
-  /// Runs `fn(task)` for every task in [0, num_tasks), claimed dynamically
-  /// by whichever worker is free (the morsel-stealing loop). Blocks until
-  /// all claimed tasks finished. On error the first non-OK status is
-  /// returned and the remaining unclaimed tasks are skipped; already
-  /// claimed tasks still run to completion. Not reentrant: only the
-  /// driver thread may call it, and never from inside a task.
+  /// Grows the pool to `n` total workers (never shrinks; shrinking would
+  /// invalidate per-worker state of in-flight queries). Thread-safe.
+  void EnsureWorkers(int n);
+
+  /// Runs `fn(task)` for every task in [0, num_tasks), claimed
+  /// dynamically by whichever eligible worker is free (the
+  /// morsel-stealing loop); the caller participates in its own group.
+  /// Blocks until all claimed tasks finished. On error the first non-OK
+  /// status is returned and the remaining unclaimed tasks are skipped;
+  /// already claimed tasks still run to completion.
+  ///
+  /// Callable concurrently from any number of driver threads — each call
+  /// is an independent task group multiplexed over the shared workers —
+  /// but never from inside a pool worker (tasks must not ParallelFor).
   Status ParallelFor(size_t num_tasks,
-                     const std::function<Status(size_t task)>& fn);
+                     const std::function<Status(size_t task)>& fn,
+                     const TaskGroupOptions& options = {});
 
  private:
-  void WorkerLoop(int worker_id);
-  /// Claims and runs tasks of the current round until exhausted.
-  void RunTasks();
+  /// One ParallelFor call in flight. All fields are guarded by the
+  /// pool's mutex; tasks run outside the lock, claims/completions
+  /// re-acquire it (morsel granularity amortizes the lock).
+  struct TaskGroup {
+    const std::function<Status(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t next = 0;       ///< first unclaimed task
+    size_t completed = 0;  ///< claimed tasks that finished
+    int active = 0;        ///< workers currently inside a task
+    bool abort = false;    ///< set on first error; skips the rest
+    Status first_error;
+    TaskGroupOptions options;
+    uint64_t seq = 0;      ///< FIFO tiebreak within a priority
 
-  const int num_workers_;
+    bool AllDone() const {
+      return active == 0 && (abort || completed == num_tasks);
+    }
+    bool Claimable(int worker_id) const {
+      if (abort || next >= num_tasks) return false;
+      if (options.max_workers > 0 && active >= options.max_workers) {
+        return false;
+      }
+      if (options.max_worker_id > 0 &&
+          worker_id >= options.max_worker_id) {
+        return false;
+      }
+      return true;
+    }
+  };
+
+  void WorkerLoop(int worker_id);
+  /// Claims and runs one task of `group`. `lock` must hold mu_; it is
+  /// released around the task body and re-held on return.
+  void RunOneTask(const std::shared_ptr<TaskGroup>& group,
+                  std::unique_lock<std::mutex>& lock);
+  /// Highest-priority group with a task claimable by `worker_id`
+  /// (FIFO within a priority); nullptr when none. Caller holds mu_.
+  std::shared_ptr<TaskGroup> PickGroup(int worker_id) const;
+
+  std::atomic<int> num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals a new round (or shutdown)
-  std::condition_variable done_cv_;   // signals round completion
-  const std::function<Status(size_t)>* fn_ = nullptr;  // current round
-  size_t num_tasks_ = 0;
-  uint64_t round_ = 0;                // generation counter for the cv wait
-  int active_workers_ = 0;            // workers still inside RunTasks
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new group (or shutdown)
+  std::condition_variable done_cv_;  // drivers: task completions
+  std::vector<std::shared_ptr<TaskGroup>> groups_;  // live groups
+  uint64_t group_seq_ = 0;
   bool shutdown_ = false;
-  Status first_error_;                // first non-OK status of the round
-
-  std::atomic<size_t> next_task_{0};
-  std::atomic<bool> abort_{false};    // set on first error; skips the rest
 };
 
 }  // namespace bypass

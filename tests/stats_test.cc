@@ -612,7 +612,7 @@ TEST(StatsSubsystemReplan, AnalyzeOfReferencedTableTriggersReplan) {
   ASSERT_TRUE(db.CreateTable("t", RstTableSchema('c')).ok());
   ASSERT_TRUE(db.AnalyzeAll().ok());
 
-  auto prepared = db.Prepare(kDisjunctiveSql, ExecutionStrategy::kCostBased);
+  auto prepared = db.Prepare(kDisjunctiveSql, QueryOptions::With(ExecutionStrategy::kCostBased));
   ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
   EXPECT_EQ(prepared->replan_count(), 0);
   ASSERT_TRUE(prepared->Execute().ok());
@@ -637,7 +637,7 @@ TEST(StatsSubsystemReplan, CostBasedPreparedQueryFlipsChoiceAfterAnalyze) {
   Database db;
   FillRS(&db, /*skewed_a4=*/false);
   ASSERT_TRUE(db.AnalyzeAll().ok());
-  auto prepared = db.Prepare(kDisjunctiveSql, ExecutionStrategy::kCostBased);
+  auto prepared = db.Prepare(kDisjunctiveSql, QueryOptions::With(ExecutionStrategy::kCostBased));
   ASSERT_TRUE(prepared.ok());
   // Uniform data: the rank heuristic and the cost model agree on the
   // Eqv. 2 shape, so no forced override is recorded.
@@ -667,7 +667,7 @@ TEST(StatsSubsystemReplan, UnnestedPreparedQueryFlipsEqv2ToEqv3) {
   Database db;
   FillRS(&db, /*skewed_a4=*/false);
   ASSERT_TRUE(db.AnalyzeAll().ok());
-  auto prepared = db.Prepare(kDisjunctiveSql, ExecutionStrategy::kUnnested);
+  auto prepared = db.Prepare(kDisjunctiveSql, QueryOptions::With(ExecutionStrategy::kUnnested));
   ASSERT_TRUE(prepared.ok());
   ASSERT_FALSE(prepared->applied_rules().empty());
   EXPECT_EQ(prepared->applied_rules()[0], "Eqv.2");
@@ -743,7 +743,7 @@ TEST_F(StatsSubsystemCostBasedPick, PicksTheCheapestCandidateOnSkewedData) {
   const double cheapest =
       std::min(std::min(canonical, by_rank), std::min(simple, subquery));
 
-  auto result = db_.Query(kDisjunctiveSql, ExecutionStrategy::kCostBased);
+  auto result = db_.Query(kDisjunctiveSql, QueryOptions::With(ExecutionStrategy::kCostBased));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->applied_rules.empty());
   const std::string& last = result->applied_rules.back();
@@ -771,14 +771,14 @@ TEST_F(StatsSubsystemCostBasedPick, AllStrategiesAgreeOnTheResult) {
   for (DisjunctOrder order :
        {DisjunctOrder::kByRank, DisjunctOrder::kSimpleFirst,
         DisjunctOrder::kSubqueryFirst}) {
-    QueryOptions options(ExecutionStrategy::kUnnested);
+    QueryOptions options = QueryOptions::With(ExecutionStrategy::kUnnested);
     options.rewrite.disjunct_order = order;
     auto result = db_.Query(kDisjunctiveSql, options);
     ASSERT_TRUE(result.ok());
     EXPECT_TRUE(RowMultisetsEqual(base->rows, result->rows))
         << "order " << static_cast<int>(order);
   }
-  auto cost_based = db_.Query(kDisjunctiveSql, ExecutionStrategy::kCostBased);
+  auto cost_based = db_.Query(kDisjunctiveSql, QueryOptions::With(ExecutionStrategy::kCostBased));
   ASSERT_TRUE(cost_based.ok());
   EXPECT_TRUE(RowMultisetsEqual(base->rows, cost_based->rows));
 }
@@ -847,7 +847,7 @@ TEST(StatsSubsystemParallel, AnalyzeRacesQueriesSafely) {
   auto prepared = db.Prepare(
       "SELECT DISTINCT * FROM r "
       "WHERE a4 > 3 OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)",
-      ExecutionStrategy::kCostBased);
+      QueryOptions::With(ExecutionStrategy::kCostBased));
   ASSERT_TRUE(prepared.ok());
 
   std::vector<std::thread> threads;
@@ -864,7 +864,7 @@ TEST(StatsSubsystemParallel, AnalyzeRacesQueriesSafely) {
         auto result = db.Query(
             "SELECT DISTINCT * FROM r "
             "WHERE a4 > 3 OR a1 = (SELECT COUNT(*) FROM s WHERE a2 = b2)",
-            ExecutionStrategy::kCostBased);
+            QueryOptions::With(ExecutionStrategy::kCostBased));
         EXPECT_TRUE(result.ok()) << result.status().ToString();
       }
     });

@@ -37,7 +37,7 @@ constexpr int kRowsR = 40;
 
 QueryOptions TaggedOptions(size_t batch_size, int num_threads,
                            bool columnar = true) {
-  QueryOptions opts(ExecutionStrategy::kUnnested);
+  QueryOptions opts = QueryOptions::With(ExecutionStrategy::kUnnested);
   opts.rewrite.use_tagged_partition = true;
   opts.batch_size = batch_size;
   opts.num_threads = num_threads;
@@ -53,10 +53,10 @@ QueryOptions TaggedOptions(size_t batch_size, int num_threads,
 void ExpectTaggedAgrees(Database* db, const std::string& sql,
                         const QueryOptions& tagged_opts) {
   auto canonical =
-      db->Query(sql, QueryOptions(ExecutionStrategy::kCanonical));
+      db->Query(sql, QueryOptions::With(ExecutionStrategy::kCanonical));
   ASSERT_TRUE(canonical.ok())
       << canonical.status().ToString() << "\nsql: " << sql;
-  auto cascade = db->Query(sql, QueryOptions(ExecutionStrategy::kUnnested));
+  auto cascade = db->Query(sql, QueryOptions::With(ExecutionStrategy::kUnnested));
   ASSERT_TRUE(cascade.ok())
       << cascade.status().ToString() << "\nsql: " << sql;
   auto tagged = db->Query(sql, tagged_opts);
