@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema check for the committed PR 8 benchmark report.
+
+Usage: check_bench_report.py <path/to/BENCH_PR8.json>
+
+Validates the keys the docs cite rather than exact values: the numbers
+are environment-specific, but a regenerated report that silently lost a
+section (or whose CI probes failed) must not pass for an artifact.
+Exits nonzero with a list of violations.
+"""
+import json
+import sys
+
+
+def check(report):
+    errors = []
+
+    def need(path, predicate=lambda v: True, why="missing"):
+        node = report
+        for key in path.split("/"):
+            if not isinstance(node, dict) or key not in node:
+                errors.append(f"{path}: {why}")
+                return None
+            node = node[key]
+        if not predicate(node):
+            errors.append(f"{path}: has value {node!r}")
+        return node
+
+    number = lambda v: isinstance(v, (int, float)) and not isinstance(v, bool)
+    positive = lambda v: number(v) and v > 0
+
+    need("benchmark", lambda v: v == "BENCH_PR8")
+    need("environment/host_cpus", positive)
+    need("operators")
+    need("hash_tables/join_build")
+    need("columnar_kernels/bypass_partition_int64")
+    need("tagged_kway/costbased_auto_pick", lambda v: v is True,
+         "probe failed or missing")
+    need("serving/assert_serving", lambda v: v is True,
+         "probe failed or missing")
+    need("stats_subsystem")
+    need("q2d_quick_sf0.01")
+
+    # The PR 8 storage sweep: every cited number plus both differential
+    # verdicts. Skip fraction >= 0.5 is the acceptance criterion for the
+    # zone-mapped clustered scan.
+    need("storage/assert_storage", lambda v: v is True,
+         "probe failed or missing")
+    need("storage/zone_scan/skip_fraction", lambda v: number(v) and v >= 0.5,
+         "below the >=50% skip criterion")
+    need("storage/zone_scan/zones_on_median_ms", positive)
+    need("storage/zone_scan/zones_off_median_ms", positive)
+    need("storage/zone_scan/speedup_zones_on", positive)
+    need("storage/segment_store/compressed_bytes", positive)
+    need("storage/segment_store/raw64_bytes", positive)
+    for probe in ("join", "sort"):
+        need(f"storage/spill/{probe}/spilled_bytes", positive)
+        need(f"storage/spill/{probe}/results_identical", lambda v: v is True,
+             "budgeted results diverged from the oracle")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1]) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_report: cannot read {sys.argv[1]}: {e}",
+              file=sys.stderr)
+        return 1
+    errors = check(report)
+    if errors:
+        for e in errors:
+            print(f"check_bench_report: {e}", file=sys.stderr)
+        return 1
+    print(f"check_bench_report: {sys.argv[1]} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,19 @@
 # across 3..5-way mixed-selectivity disjunctions, plus the cost-based
 # auto-pick probe), and the serving-layer client sweep (1/4/8 clients
 # over a repeated query class: shared Server with plan cache + admission
-# vs one private Database per client), and writes BENCH_PR7.json. Prior
-# PR reports (BENCH_PR1..6.json) are never overwritten: each PR writes
-# its own file so the history stays comparable side by side.
+# vs one private Database per client), and the segment-storage sweep
+# (zone-map skipping on a clustered range, compressed segment reads vs
+# the flat path, Grace-join/external-sort spill at a budget of data/10),
+# and writes BENCH_PR8.json. Prior PR reports (BENCH_PR1..7.json) are
+# never overwritten: each PR writes its own file so the history stays
+# comparable side by side.
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
-# Output: $BENCH_OUT (default <build-dir>/BENCH_PR7.json)
+# Output: $BENCH_OUT (default <build-dir>/BENCH_PR8.json)
+#
+# The script fails loudly (nonzero exit) when the report file is missing
+# or empty afterwards — a silent half-run must not pass for a benchmark
+# artifact.
 #
 # Every report embeds environment metadata — host CPU count plus the
 # compiler and flags captured in <build-dir>/build_info.json at configure
@@ -31,7 +38,7 @@
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
-OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR7.json}
+OUT=${BENCH_OUT:-${BUILD_DIR}/BENCH_PR8.json}
 OPS=${BUILD_DIR}/bench/bench_operators
 HASH=${BUILD_DIR}/bench/bench_hash
 COL=${BUILD_DIR}/bench/bench_columnar
@@ -39,10 +46,11 @@ TAGGED=${BUILD_DIR}/bench/bench_tagged
 Q2D=${BUILD_DIR}/bench/bench_q2d
 STATS=${BUILD_DIR}/bench/bench_stats
 SERVING=${BUILD_DIR}/bench/bench_serving
+STORAGE=${BUILD_DIR}/bench/bench_storage
 BUILD_INFO=${BUILD_DIR}/build_info.json
 
 [[ -x ${OPS} && -x ${HASH} && -x ${COL} && -x ${TAGGED} && -x ${Q2D} &&
-   -x ${STATS} && -x ${SERVING} ]] || {
+   -x ${STATS} && -x ${SERVING} && -x ${STORAGE} ]] || {
   echo "bench binaries missing under ${BUILD_DIR}/bench — build first" >&2
   exit 1
 }
@@ -112,19 +120,30 @@ else
   SERVING_ASSERT=false
 fi
 
+echo "== bench_storage (zone scan / segment IO / spill, median of 5) =="
+STORAGE_JSON=$(mktemp)
+"${STORAGE}" --json 2>/dev/null >"${STORAGE_JSON}"
+
+echo "== bench_storage --assert-storage (budget-differential probe) =="
+if "${STORAGE}" --assert-storage; then
+  STORAGE_ASSERT=true
+else
+  STORAGE_ASSERT=false
+fi
+
 NPROC=$(nproc 2>/dev/null || echo 1)
 
 python3 - "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${NPROC}" "${OUT}" \
   "${STATS_JSON}" "${HASH_JSON}" "${BUILD_INFO}" "${COL_JSON}" \
   "${TAGGED_JSON}" "${TAGGED_AUTOPICK}" "${SERVING_JSON}" \
-  "${SERVING_ASSERT}" <<'EOF'
+  "${SERVING_ASSERT}" "${STORAGE_JSON}" "${STORAGE_ASSERT}" <<'EOF'
 import json
 import statistics
 import sys
 
 (ops_json, q2d_txt, scale_txt, nproc, out_path, stats_json, hash_json,
  build_info, col_json, tagged_json, tagged_autopick, serving_json,
- serving_assert) = sys.argv[1:14]
+ serving_assert, storage_json, storage_assert) = sys.argv[1:16]
 
 # Medians measured at the seed commit (see header comment).
 SEED = {
@@ -142,12 +161,12 @@ except (OSError, json.JSONDecodeError):
     # Pre-refresh build dir: metadata appears after the next cmake run.
     env_meta["compiler"] = "unknown (re-run cmake for build_info.json)"
 
-report = {"benchmark": "BENCH_PR7", "protocol": "median-of-5",
+report = {"benchmark": "BENCH_PR8", "protocol": "median-of-5",
           "batch_size": 1024, "host_cpus": int(nproc),
           "environment": env_meta,
           "operators": {}, "bypass_select_thread_scaling": {},
           "hash_tables": {}, "columnar_kernels": {},
-          "tagged_kway": {}, "serving": {},
+          "tagged_kway": {}, "serving": {}, "storage": {},
           "q2d_quick_sf0.01": {}, "q2d_thread_scaling": {},
           "stats_subsystem": {}}
 
@@ -287,6 +306,16 @@ with open(serving_json) as f:
     report["serving"] = json.load(f)
 report["serving"]["assert_serving"] = serving_assert == "true"
 
+# Segment-storage sweep: zone-map skipping on a clustered range (on vs
+# off, skip fraction + speedup), the compressed segment read path vs the
+# flat zero-copy scan with the encoded footprint, and the spill
+# differential (join + top-k sort at a budget of data/10 vs unlimited,
+# results_identical + spilled bytes). assert_storage records the
+# budget-differential probe's verdict.
+with open(storage_json) as f:
+    report["storage"] = json.load(f)
+report["storage"]["assert_storage"] = storage_assert == "true"
+
 ops_scale = {}
 with open(ops_json) as f:
     for b in json.load(f)["benchmarks"]:
@@ -349,4 +378,15 @@ print(f"\nwrote {out_path}")
 EOF
 
 rm -f "${OPS_JSON}" "${Q2D_TXT}" "${SCALE_TXT}" "${STATS_JSON}" \
-  "${HASH_JSON}" "${COL_JSON}" "${SERVING_JSON}"
+  "${HASH_JSON}" "${COL_JSON}" "${SERVING_JSON}" "${STORAGE_JSON}"
+
+# A benchmark run that does not leave a parseable report behind is a
+# failure, not a quiet no-op.
+[[ -s ${OUT} ]] || {
+  echo "run_benchmarks: report ${OUT} was not written" >&2
+  exit 1
+}
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "${OUT}" || {
+  echo "run_benchmarks: report ${OUT} is not valid JSON" >&2
+  exit 1
+}

@@ -13,7 +13,7 @@ BIN=${BUILD_DIR}/bench
 for b in bench_operators bench_hash bench_columnar bench_tagged bench_q1 \
          bench_q2corr bench_q2d bench_q3_tree bench_q4_linear \
          bench_quantified bench_select_clause bench_ablation_rank \
-         bench_stats bench_serving; do
+         bench_stats bench_serving bench_storage; do
   [[ -x ${BIN}/${b} ]] || {
     echo "missing bench binary ${BIN}/${b} — build first" >&2
     exit 1
@@ -65,5 +65,12 @@ run "${BIN}/bench_stats" --quick --rows=200 --json
 # rate above 0.9 and consistent admission accounting. Exits nonzero on
 # failure.
 run "${BIN}/bench_serving" --assert-serving --rows=500
+
+# Storage plumbing assertion: a memory budget of data/10 must complete
+# the join and sort probes byte-identical to the unlimited oracle with
+# nonzero spill, the clustered zone query must skip >= half its segments
+# while matching the zones-off control, and the zones-off control must
+# report zero segment accounting. Exits nonzero on failure.
+run "${BIN}/bench_storage" --quick --assert-storage
 
 echo "bench-smoke OK"

@@ -165,6 +165,7 @@ Table::Table(std::string name, Schema schema)
 void Table::Invalidate() {
   rows_valid_.store(false, std::memory_order_release);
   stats_valid_.store(false, std::memory_order_release);
+  segments_valid_.store(false, std::memory_order_release);
 }
 
 Status Table::Append(Row row) {
@@ -245,6 +246,24 @@ void Table::AnalyzeStatsLocked() const {
                                  : MixedColumnStats(col));
   }
   stats_valid_.store(true, std::memory_order_release);
+}
+
+void Table::set_segment_rows(size_t rows) {
+  std::lock_guard<std::mutex> lock(segments_mutex_);
+  segment_rows_ = rows == 0 ? kDefaultRowsPerSegment : rows;
+  segments_valid_.store(false, std::memory_order_release);
+}
+
+const TableSegments& Table::segments() const {
+  // Double-checked init, same discipline as rows()/stats().
+  if (!segments_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(segments_mutex_);
+    if (!segments_valid_.load(std::memory_order_relaxed)) {
+      segments_ = BuildTableSegments(schema_, columns_, segment_rows_);
+      segments_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return segments_;
 }
 
 const std::vector<ColumnStatistics>& Table::stats() const {

@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "stats/column_stats.h"
+#include "storage/segment.h"
 #include "types/column_vector.h"
 #include "types/row.h"
 #include "types/schema.h"
@@ -37,7 +38,11 @@ class Table {
         row_shim_(std::move(other.row_shim_)),
         rows_valid_(other.rows_valid_.load(std::memory_order_relaxed)),
         stats_(std::move(other.stats_)),
-        stats_valid_(other.stats_valid_.load(std::memory_order_relaxed)) {}
+        stats_valid_(other.stats_valid_.load(std::memory_order_relaxed)),
+        segment_rows_(other.segment_rows_),
+        segments_(std::move(other.segments_)),
+        segments_valid_(
+            other.segments_valid_.load(std::memory_order_relaxed)) {}
   Table& operator=(Table&& other) noexcept {
     name_ = std::move(other.name_);
     schema_ = std::move(other.schema_);
@@ -48,6 +53,11 @@ class Table {
     stats_ = std::move(other.stats_);
     stats_valid_.store(other.stats_valid_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    segment_rows_ = other.segment_rows_;
+    segments_ = std::move(other.segments_);
+    segments_valid_.store(
+        other.segments_valid_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
   Table(const Table&) = delete;
@@ -88,6 +98,22 @@ class Table {
   /// concurrent readers; the first caller computes.
   const std::vector<ColumnStatistics>& stats() const;
 
+  /// Segment granularity for the zone-map / compressed-segment index;
+  /// invalidates any built index. Tests shrink it to get many segments
+  /// over small tables.
+  void set_segment_rows(size_t rows);
+  size_t segment_rows() const { return segment_rows_; }
+
+  /// The segment index (zone maps + compressed columns), built on first
+  /// use after a modification. Safe to call from concurrent readers.
+  const TableSegments& segments() const;
+
+  /// True when the index is already built and current — a non-building
+  /// probe for planner-side consumers that must not pay the build cost.
+  bool has_segments() const {
+    return segments_valid_.load(std::memory_order_acquire);
+  }
+
  private:
   void AnalyzeStatsLocked() const;
   void Invalidate();
@@ -101,6 +127,10 @@ class Table {
   mutable std::mutex stats_mutex_;
   mutable std::vector<ColumnStatistics> stats_;
   mutable std::atomic<bool> stats_valid_{false};
+  size_t segment_rows_ = kDefaultRowsPerSegment;
+  mutable std::mutex segments_mutex_;
+  mutable TableSegments segments_;
+  mutable std::atomic<bool> segments_valid_{false};
 };
 
 }  // namespace bypass

@@ -65,4 +65,52 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
   return p == pattern.size();
 }
 
+LikePattern AnalyzeLikePattern(std::string_view pattern) {
+  LikePattern out;
+  if (pattern.find('_') != std::string_view::npos) return out;
+  size_t lead = 0;
+  while (lead < pattern.size() && pattern[lead] == '%') ++lead;
+  if (lead == pattern.size()) {
+    out.shape = lead > 0 ? LikeShape::kMatchAll : LikeShape::kExact;
+    out.body = std::string_view();
+    return out;
+  }
+  size_t tail = pattern.size();
+  while (tail > lead && pattern[tail - 1] == '%') --tail;
+  std::string_view body = pattern.substr(lead, tail - lead);
+  if (body.find('%') != std::string_view::npos) return out;  // interior '%'
+  out.body = body;
+  if (lead == 0 && tail == pattern.size()) {
+    out.shape = LikeShape::kExact;
+  } else if (lead == 0) {
+    out.shape = LikeShape::kPrefix;
+  } else if (tail == pattern.size()) {
+    out.shape = LikeShape::kSuffix;
+  } else {
+    out.shape = LikeShape::kContains;
+  }
+  return out;
+}
+
+bool LikeMatchShaped(std::string_view text, const LikePattern& shaped,
+                     std::string_view pattern) {
+  switch (shaped.shape) {
+    case LikeShape::kMatchAll:
+      return true;
+    case LikeShape::kExact:
+      return text == shaped.body;
+    case LikeShape::kPrefix:
+      return text.size() >= shaped.body.size() &&
+             text.substr(0, shaped.body.size()) == shaped.body;
+    case LikeShape::kSuffix:
+      return text.size() >= shaped.body.size() &&
+             text.substr(text.size() - shaped.body.size()) == shaped.body;
+    case LikeShape::kContains:
+      return text.find(shaped.body) != std::string_view::npos;
+    case LikeShape::kGeneric:
+      break;
+  }
+  return LikeMatch(text, pattern);
+}
+
 }  // namespace bypass

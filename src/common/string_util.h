@@ -26,6 +26,34 @@ std::string Join(const std::vector<std::string>& parts,
 /// need one).
 bool LikeMatch(std::string_view text, std::string_view pattern);
 
+/// Structural shape of a LIKE pattern, recognized once per batch so the
+/// columnar string kernel (and the zone-map LIKE test) can replace the
+/// general backtracking matcher with a substring primitive.
+enum class LikeShape {
+  kGeneric,   ///< needs the full matcher ('_' or interior '%')
+  kMatchAll,  ///< pattern is one or more '%' — matches everything
+  kExact,     ///< no wildcards: string equality with `body`
+  kPrefix,    ///< 'body%'   — starts_with(body)
+  kSuffix,    ///< '%body'   — ends_with(body)
+  kContains,  ///< '%body%'  — find(body) != npos
+};
+
+/// The analyzed form: `body` views into the pattern passed to
+/// AnalyzeLikePattern, so the pattern must outlive the analysis.
+struct LikePattern {
+  LikeShape shape = LikeShape::kGeneric;
+  std::string_view body;
+};
+
+/// Classifies `pattern`. Any '_' (the matcher's hard case) or any '%'
+/// that is neither a leading nor a trailing run yields kGeneric.
+LikePattern AnalyzeLikePattern(std::string_view pattern);
+
+/// Matches `text` against an analyzed pattern; `pattern` is the original
+/// pattern string for the kGeneric fallback.
+bool LikeMatchShaped(std::string_view text, const LikePattern& shaped,
+                     std::string_view pattern);
+
 }  // namespace bypass
 
 #endif  // BYPASSDB_COMMON_STRING_UTIL_H_

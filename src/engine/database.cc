@@ -283,6 +283,16 @@ Result<QueryResult> PreparedQuery::ExecuteWith(
   ctx.set_num_worker_slots(num_worker_slots);
   ctx.set_columnar_enabled(run_options.enable_columnar);
   ctx.set_memory(env.memory);
+  ctx.set_zone_maps_enabled(run_options.enable_zone_maps);
+  ctx.set_scan_from_segments(run_options.scan_from_segments);
+  // One scratch-dir manager per execution: budgeted operators spill into
+  // it instead of failing, and its destructor removes every temp file
+  // once the query (and any subplan holding a reference) is done.
+  std::shared_ptr<SpillManager> spill;
+  if (env.memory != nullptr && run_options.allow_spill) {
+    spill = std::make_shared<SpillManager>(run_options.spill_directory);
+  }
+  ctx.set_spill(spill);
   SharedWorkerStats worker_stats;
   if (env.pool != nullptr) {
     ctx.set_pool(env.pool);
@@ -303,7 +313,9 @@ Result<QueryResult> PreparedQuery::ExecuteWith(
     subplan->ClearCache();
     subplan->Configure(deadline, &result.stats, ctx.batch_size(),
                        worker_stats, num_worker_slots,
-                       run_options.enable_columnar, env.memory);
+                       run_options.enable_columnar, env.memory, spill,
+                       run_options.enable_zone_maps,
+                       run_options.scan_from_segments);
   }
 
   const auto exec_start = std::chrono::steady_clock::now();

@@ -157,11 +157,33 @@ struct QueryOptions {
   /// submitting session's priority.
   int priority = 0;
   /// Per-query memory budget in bytes for buffering operators (result
-  /// collection, join build sides), enforced through
+  /// collection, join build sides, sorts), enforced through
   /// ExecContext::ChargeMemory. 0 = the server's default (or unlimited
-  /// for standalone use). Exceeding it fails the query with
-  /// ResourceExhausted instead of growing without bound.
+  /// for standalone use). With `allow_spill` (the default) budgeted hash
+  /// joins and sorts overflow to temp files and complete with the same
+  /// results; operators without a spill path (notably result collection)
+  /// still fail with ResourceExhausted rather than grow without bound.
   size_t memory_budget_bytes = 0;
+  /// Let budgeted executions spill join build sides and sort runs to
+  /// temp files (Grace hash join / external merge sort) instead of
+  /// failing. Off restores the strict pre-spill ResourceExhausted
+  /// behaviour for every operator.
+  bool allow_spill = true;
+  /// Scratch directory for spill files; empty = the system temp
+  /// directory. The per-query subdirectory is removed when the query
+  /// finishes.
+  std::string spill_directory;
+
+  // --- Segment-storage knobs (see storage/segment.h).
+
+  /// Consult per-segment zone maps (min/max/null counts) to skip table
+  /// segments that cannot satisfy the scan's pushed-down predicate.
+  bool enable_zone_maps = true;
+  /// Read scans through the compressed segment store, decompressing one
+  /// segment per worker at a time, instead of borrowing the table's flat
+  /// in-memory columns — the out-of-core read path. Off by default: flat
+  /// scans stay zero-copy.
+  bool scan_from_segments = false;
 };
 
 struct QueryResult {

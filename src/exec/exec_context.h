@@ -19,6 +19,7 @@
 
 #include "common/status.h"
 #include "exec/worker_pool.h"
+#include "storage/spill.h"
 #include "types/row.h"
 #include "types/row_batch.h"
 
@@ -48,6 +49,19 @@ struct ExecStats {
   /// counts the remainder stream. Sized on first use; attribution data
   /// for the BENCH_PR6 sweep.
   std::vector<int64_t> tagged_stream_rows;
+  /// Segment-storage counters: segments consulted by scans, segments
+  /// whose zone maps proved the pushed-down predicate unsatisfiable, and
+  /// the rows those skips avoided touching.
+  int64_t segments_scanned = 0;
+  int64_t segments_skipped = 0;
+  int64_t zone_skip_rows = 0;
+  /// Spill counters: bytes/rows written to temp files, files created,
+  /// external-sort runs, and Grace hash-join partitions processed.
+  int64_t spilled_bytes = 0;
+  int64_t spilled_rows = 0;
+  int64_t spill_files = 0;
+  int64_t sort_spill_runs = 0;
+  int64_t join_spill_partitions = 0;
 
   void Add(const ExecStats& other) {
     rows_scanned += other.rows_scanned;
@@ -56,6 +70,14 @@ struct ExecStats {
     subquery_cache_hits += other.subquery_cache_hits;
     columnar_batches += other.columnar_batches;
     tagged_batches += other.tagged_batches;
+    segments_scanned += other.segments_scanned;
+    segments_skipped += other.segments_skipped;
+    zone_skip_rows += other.zone_skip_rows;
+    spilled_bytes += other.spilled_bytes;
+    spilled_rows += other.spilled_rows;
+    spill_files += other.spill_files;
+    sort_spill_runs += other.sort_spill_runs;
+    join_spill_partitions += other.join_spill_partitions;
     if (tagged_stream_rows.size() < other.tagged_stream_rows.size()) {
       tagged_stream_rows.resize(other.tagged_stream_rows.size(), 0);
     }
@@ -201,6 +223,52 @@ class ExecContext {
     return Status::OK();
   }
 
+  /// All-or-nothing variant of ChargeMemory for spill-capable operators:
+  /// charges `bytes` and returns true, or rolls the charge back and
+  /// returns false when it would exceed the limit — the operator then
+  /// spills instead of failing the query. With no budget installed (or
+  /// limit 0, track-only) the charge always sticks.
+  bool TryChargeMemory(int64_t bytes) {
+    if (memory_ == nullptr) return true;
+    const int64_t used =
+        memory_->used.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (memory_->limit > 0 && used > memory_->limit) {
+      memory_->used.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns previously charged bytes to the budget (a spill released
+  /// the buffer, or a partition finished probing).
+  void ReleaseMemory(int64_t bytes) {
+    if (memory_ != nullptr && bytes != 0) {
+      memory_->used.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// Spill-file factory for budget-constrained buffering operators;
+  /// nullptr disables spilling (budget overruns then surface as
+  /// ResourceExhausted exactly as before).
+  SpillManager* spill() const { return spill_.get(); }
+  void set_spill(std::shared_ptr<SpillManager> spill) {
+    spill_ = std::move(spill);
+  }
+  const std::shared_ptr<SpillManager>& shared_spill() const {
+    return spill_;
+  }
+
+  /// Whether scans consult table zone maps to skip segments their
+  /// pushed-down predicate cannot match. Set before RunPlan.
+  bool zone_maps_enabled() const { return zone_maps_enabled_; }
+  void set_zone_maps_enabled(bool v) { zone_maps_enabled_ = v; }
+
+  /// Whether scans read through the compressed segment store (decompress
+  /// per segment) instead of borrowing the table's flat columns — the
+  /// out-of-core read path. Off by default: flat scans stay zero-copy.
+  bool scan_from_segments() const { return scan_from_segments_; }
+  void set_scan_from_segments(bool v) { scan_from_segments_ = v; }
+
   /// Number of per-worker state slots operators must allocate. This is
   /// the *query's* worker count even for (serial) subplan contexts,
   /// because a subplan runs on the worker thread that evaluates it and
@@ -233,6 +301,9 @@ class ExecContext {
   WorkerPool* pool_ = nullptr;
   TaskGroupOptions sched_;
   SharedMemoryBudget memory_;
+  std::shared_ptr<SpillManager> spill_;
+  bool zone_maps_enabled_ = true;
+  bool scan_from_segments_ = false;
   int num_worker_slots_ = 1;
   std::chrono::steady_clock::time_point deadline_{};
   bool has_deadline_ = false;

@@ -24,6 +24,33 @@ constexpr size_t kParallelBuildThreshold = 4096;
 /// batch's working window.
 constexpr size_t kPrefetchDistance = 8;
 
+/// Value-determined Grace partition hash: equal join keys must land in
+/// the same partition no matter which side or representation they come
+/// from. Single-column keys structurally equal to an int64 (int64, or a
+/// double representing one exactly — the classes Int64KeyOf unifies)
+/// take the int64 finalizer on both sides; everything else takes the
+/// generic row-slot hash, which is itself equality-consistent.
+uint64_t GracePartitionHash(const Row& row, const std::vector<int>& slots) {
+  if (slots.size() == 1) {
+    int64_t k;
+    bool is_null;
+    if (flat_internal::Int64KeyOf(row[static_cast<size_t>(slots[0])], &k,
+                                  &is_null)) {
+      return flat_internal::HashInt64Key(k);
+    }
+  }
+  return HashRowSlots(row, slots);
+}
+
+/// Partitions come from the hash's top bits so they stay independent of
+/// the low bits the per-partition hash tables mask with.
+constexpr int kGracePartitionShift = 60;
+
+size_t GracePartitionOf(const Row& row, const std::vector<int>& slots) {
+  return static_cast<size_t>(GracePartitionHash(row, slots) >>
+                             kGracePartitionShift);
+}
+
 }  // namespace
 
 void JoinHashTable::Clear() {
@@ -283,6 +310,18 @@ void JoinHashTable::ProbeBatch(const RowBatch& batch,
   }
 }
 
+int64_t JoinHashTable::RetainedBytes() const {
+  const size_t bytes = slots_.capacity() * sizeof(Slot) +
+                       key_repr_.capacity() * sizeof(uint32_t) +
+                       key_int64_.capacity() * sizeof(int64_t) +
+                       offsets_.capacity() * sizeof(uint32_t) +
+                       payload_.capacity() * sizeof(uint32_t) +
+                       hashes_.capacity() * sizeof(uint64_t) +
+                       int64_keys_.capacity() * sizeof(int64_t) +
+                       row_key_.capacity() * sizeof(uint32_t);
+  return static_cast<int64_t>(bytes);
+}
+
 // --------------------------------------------------------------- HashJoin
 
 Status HashJoinOp::Prepare(ExecContext* ctx) {
@@ -294,16 +333,158 @@ Status HashJoinOp::Prepare(ExecContext* ctx) {
 void HashJoinOp::Reset() {
   BinaryPhysOp::Reset();
   table_.Clear();
+  grace_ = false;
+  right_parts_.clear();
+  left_parts_.clear();
 }
 
 Status HashJoinOp::BuildFromRight() {
+  static_assert(kGracePartitions ==
+                size_t{1} << (64 - kGracePartitionShift));
+  if (right_spilled()) return EnterGraceMode();
   table_.Build(right_rows(), right_key_slots_, ctx_->pool());
+  // The index arrays scale with the build side exactly like the buffered
+  // rows (charged on arrival) do, so they pay into the budget too.
+  const int64_t bytes = table_.RetainedBytes();
+  if (ctx_->spill() != nullptr && ctx_->memory() != nullptr) {
+    if (ctx_->TryChargeMemory(bytes)) return Status::OK();
+    table_.Clear();
+    return EnterGraceMode();
+  }
+  return ctx_->ChargeMemory(bytes);
+}
+
+Status HashJoinOp::EnterGraceMode() {
+  ExecStats* stats = ctx_->stats();
+  right_parts_.resize(kGracePartitions);
+  left_parts_.resize(kGracePartitions);
+  for (size_t p = 0; p < kGracePartitions; ++p) {
+    BYPASS_ASSIGN_OR_RETURN(right_parts_[p],
+                            ctx_->spill()->NewFile("gracer"));
+    BYPASS_ASSIGN_OR_RETURN(left_parts_[p],
+                            ctx_->spill()->NewFile("gracel"));
+  }
+  if (stats != nullptr) {
+    stats->spill_files += static_cast<int64_t>(2 * kGracePartitions);
+  }
+  auto route_right = [&](const Row& row) -> Status {
+    // NULL-keyed rows can never match an inner join; dropping them here
+    // mirrors the in-memory build skipping them.
+    if (AnyNull(row, right_key_slots_)) return Status::OK();
+    return right_parts_[GracePartitionOf(row, right_key_slots_)]
+        ->AppendRow(row);
+  };
+  // Repartition the in-memory remainder first, releasing its budget
+  // charges, then replay the workers' overflow files.
+  {
+    std::vector<Row> mem = TakeRightRows();
+    for (const Row& row : mem) {
+      BYPASS_RETURN_IF_ERROR(route_right(row));
+    }
+  }
+  ctx_->ReleaseMemory(TakeRightCharges());
+  BYPASS_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<SpillFile>> spilled,
+                          TakeRightSpillFiles());
+  Row row;
+  for (const std::unique_ptr<SpillFile>& file : spilled) {
+    BYPASS_RETURN_IF_ERROR(file->OpenRead());
+    while (true) {
+      BYPASS_ASSIGN_OR_RETURN(bool more, file->ReadRow(&row));
+      if (!more) break;
+      BYPASS_RETURN_IF_ERROR(route_right(row));
+    }
+  }
+  int64_t routed_rows = 0;
+  int64_t routed_bytes = 0;
+  for (std::unique_ptr<SpillFile>& part : right_parts_) {
+    BYPASS_RETURN_IF_ERROR(part->FinishWrite());
+    routed_rows += part->rows_written();
+    routed_bytes += part->bytes_written();
+  }
+  if (stats != nullptr) {
+    stats->spilled_rows += routed_rows;
+    stats->spilled_bytes += routed_bytes;
+  }
+  grace_ = true;
   return Status::OK();
 }
 
-Status HashJoinOp::EmitMatches(const Row& row, JoinMatches matches) {
+Status HashJoinOp::RouteLeftRow(const Row& row) {
+  if (AnyNull(row, left_key_slots_)) return Status::OK();
+  const size_t p = GracePartitionOf(row, left_key_slots_);
+  std::lock_guard<std::mutex> lock(part_mutex_[p]);
+  return left_parts_[p]->AppendRow(row);
+}
+
+Status HashJoinOp::ProbeGracePartitions() {
+  ExecStats* stats = ctx_->stats();
+  int64_t left_spill_rows = 0;
+  int64_t left_spill_bytes = 0;
+  for (std::unique_ptr<SpillFile>& part : left_parts_) {
+    BYPASS_RETURN_IF_ERROR(part->FinishWrite());
+    left_spill_rows += part->rows_written();
+    left_spill_bytes += part->bytes_written();
+  }
+  if (stats != nullptr) {
+    stats->spilled_rows += left_spill_rows;
+    stats->spilled_bytes += left_spill_bytes;
+  }
+  std::vector<Row> build;
+  Row row;
+  for (size_t p = 0; p < kGracePartitions; ++p) {
+    SpillFile& right = *right_parts_[p];
+    SpillFile& left = *left_parts_[p];
+    if (right.rows_written() == 0 || left.rows_written() == 0) continue;
+    BYPASS_RETURN_IF_ERROR(ctx_->CheckBudget());
+    build.clear();
+    build.reserve(static_cast<size_t>(right.rows_written()));
+    BYPASS_RETURN_IF_ERROR(right.OpenRead());
+    while (true) {
+      BYPASS_ASSIGN_OR_RETURN(bool more, right.ReadRow(&row));
+      if (!more) break;
+      build.push_back(std::move(row));
+    }
+    // One partition pair is resident at a time; its charges are released
+    // before the next partition loads. A single partition that still
+    // overflows the budget (extreme key skew) fails rather than thrash.
+    const int64_t row_bytes = ApproxRowsBytes(
+        build.size(), build.empty() ? 0 : build[0].size());
+    if (!ctx_->TryChargeMemory(row_bytes)) {
+      return Status::ResourceExhausted(
+          "grace-join partition exceeds the memory budget");
+    }
+    table_.Build(build, right_key_slots_, ctx_->pool());
+    const int64_t table_bytes = table_.RetainedBytes();
+    if (!ctx_->TryChargeMemory(table_bytes)) {
+      ctx_->ReleaseMemory(row_bytes);
+      return Status::ResourceExhausted(
+          "grace-join partition exceeds the memory budget");
+    }
+    BYPASS_RETURN_IF_ERROR(left.OpenRead());
+    Status st = Status::OK();
+    while (st.ok()) {
+      Result<bool> more = left.ReadRow(&row);
+      if (!more.ok()) {
+        st = more.status();
+        break;
+      }
+      if (!*more) break;
+      st = EmitMatches(row, table_.Probe(row, left_key_slots_), build);
+    }
+    table_.Clear();
+    ctx_->ReleaseMemory(row_bytes + table_bytes);
+    BYPASS_RETURN_IF_ERROR(st);
+    if (stats != nullptr) ++stats->join_spill_partitions;
+  }
+  right_parts_.clear();
+  left_parts_.clear();
+  return Status::OK();
+}
+
+Status HashJoinOp::EmitMatches(const Row& row, JoinMatches matches,
+                               const std::vector<Row>& build_rows) {
   for (uint32_t idx : matches) {
-    Row joined = ConcatRows(row, right_rows()[idx]);
+    Row joined = ConcatRows(row, build_rows[idx]);
     if (residual_ != nullptr) {
       EvalContext ectx{&joined, ctx_->outer_row()};
       BYPASS_ASSIGN_OR_RETURN(Value v, residual_->Eval(ectx));
@@ -315,22 +496,38 @@ Status HashJoinOp::EmitMatches(const Row& row, JoinMatches matches) {
 }
 
 Status HashJoinOp::ProcessLeft(Row row) {
-  return EmitMatches(row, table_.Probe(row, left_key_slots_));
+  if (grace_) return RouteLeftRow(row);
+  return EmitMatches(row, table_.Probe(row, left_key_slots_),
+                     right_rows());
 }
 
 // Probes the whole batch through the vectorized hash-then-resolve path:
 // left rows are never copied out of the batch, so probe misses cost no
 // allocation at all.
 Status HashJoinOp::ProcessLeftBatch(RowBatch batch) {
+  const size_t n = batch.size();
+  if (grace_) {
+    for (size_t i = 0; i < n; ++i) {
+      BYPASS_RETURN_IF_ERROR(RouteLeftRow(batch.row(i)));
+    }
+    return Status::OK();
+  }
   JoinProbeScratch& scratch =
       scratch_[static_cast<size_t>(CurrentWorkerId())];
   table_.ProbeBatch(batch, left_key_slots_, &scratch);
-  const size_t n = batch.size();
   for (size_t i = 0; i < n; ++i) {
     if (scratch.matches[i].empty()) continue;
-    BYPASS_RETURN_IF_ERROR(EmitMatches(batch.row(i), scratch.matches[i]));
+    BYPASS_RETURN_IF_ERROR(EmitMatches(batch.row(i), scratch.matches[i],
+                                       right_rows()));
   }
   return Status::OK();
+}
+
+Status HashJoinOp::FinishBoth() {
+  if (grace_) {
+    BYPASS_RETURN_IF_ERROR(ProbeGracePartitions());
+  }
+  return EmitFinish(kPortOut);
 }
 
 // ----------------------------------------------------------------- NLJoin

@@ -4,7 +4,10 @@
 #ifndef BYPASSDB_EXEC_JOIN_H_
 #define BYPASSDB_EXEC_JOIN_H_
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "exec/phys_op.h"
 #include "exec/worker_pool.h"
 #include "expr/expr.h"
+#include "storage/spill.h"
 
 namespace bypass {
 
@@ -74,6 +78,11 @@ class JoinHashTable {
 
   size_t num_keys() const { return key_repr_.size(); }
 
+  /// Bytes retained by the index itself — slot array, per-key metadata,
+  /// payload, and build scratch — excluding the build rows (their owner
+  /// charges them separately). Feeds the memory budget.
+  int64_t RetainedBytes() const;
+
  private:
   struct Slot {
     uint64_t hash;
@@ -119,6 +128,14 @@ class JoinHashTable {
 
 /// Equi hash join (right = build side). Optional residual predicate over
 /// the concatenated row.
+///
+/// Out-of-core: when the context carries a memory budget and a spill
+/// manager, a build side that cannot be charged switches the join into
+/// Grace mode — both inputs are hash-partitioned to temp files by their
+/// join key and each partition pair is joined in memory at finish.
+/// Output order then becomes partition-major (still deterministic for a
+/// fixed partition count); in-memory executions are byte-identical to
+/// the pre-spill behavior.
 class HashJoinOp : public BinaryPhysOp {
  public:
   HashJoinOp(std::vector<int> left_key_slots,
@@ -135,16 +152,46 @@ class HashJoinOp : public BinaryPhysOp {
   Status BuildFromRight() override;
   Status ProcessLeft(Row row) override;
   Status ProcessLeftBatch(RowBatch batch) override;
-  Status FinishBoth() override { return EmitFinish(kPortOut); }
+  Status FinishBoth() override;
+  bool CanSpillRight() const override { return true; }
 
  private:
-  Status EmitMatches(const Row& row, JoinMatches matches);
+  /// Fan-out of the Grace repartitioning; 16 partitions put each pair at
+  /// ~1/16 of the build side, comfortably under any budget that admitted
+  /// spilling in the first place.
+  static constexpr size_t kGracePartitions = 16;
+
+  /// Joins one probe row against `build_rows` (the rows `matches` indexes
+  /// into: right_rows() in memory, the loaded partition in Grace mode).
+  Status EmitMatches(const Row& row, JoinMatches matches,
+                     const std::vector<Row>& build_rows);
+
+  /// Tears down in-memory build state and repartitions the right side
+  /// (spilled files + in-memory remainder) into kGracePartitions temp
+  /// files. Single-threaded (right-finish phase).
+  Status EnterGraceMode();
+
+  /// Appends a left row to its key partition's temp file; NULL-keyed rows
+  /// are dropped (they can never match an inner join). Thread-safe.
+  Status RouteLeftRow(const Row& row);
+
+  /// Partition-wise join at finish: per partition, load + index the
+  /// right rows, stream-probe the left file. Single-threaded.
+  Status ProbeGracePartitions();
 
   std::vector<int> left_key_slots_;
   std::vector<int> right_key_slots_;
   ExprPtr residual_;
   JoinHashTable table_;
   std::vector<JoinProbeScratch> scratch_;  // per worker
+
+  /// Set by BuildFromRight (single-threaded) before any left row flows
+  /// in Grace mode; workers only read it, under the same phase ordering
+  /// that publishes the hash table itself.
+  bool grace_ = false;
+  std::vector<std::unique_ptr<SpillFile>> right_parts_;
+  std::vector<std::unique_ptr<SpillFile>> left_parts_;
+  std::array<std::mutex, kGracePartitions> part_mutex_;
 };
 
 /// Nested-loop join; null predicate = cross product.

@@ -128,11 +128,58 @@ void BinaryPhysOp::Reset() {
   for (InputBuffers& b : buffers_) {
     b.right.clear();
     b.pending_left.clear();
+    b.charged = 0;
+    b.spill.reset();
   }
   right_rows_.clear();
+  right_spilled_.store(false, std::memory_order_relaxed);
   right_done_ = false;
   left_done_ = false;
   finished_ = false;
+}
+
+Status BinaryPhysOp::SpillRightBuffer(InputBuffers* buffers) {
+  if (buffers->right.empty()) return Status::OK();
+  ExecStats* stats = ctx_->stats();
+  if (buffers->spill == nullptr) {
+    BYPASS_ASSIGN_OR_RETURN(buffers->spill,
+                            ctx_->spill()->NewFile("build"));
+    if (stats != nullptr) ++stats->spill_files;
+  }
+  const int64_t bytes_before = buffers->spill->bytes_written();
+  for (const Row& row : buffers->right) {
+    BYPASS_RETURN_IF_ERROR(buffers->spill->AppendRow(row));
+  }
+  if (stats != nullptr) {
+    stats->spilled_rows += static_cast<int64_t>(buffers->right.size());
+    stats->spilled_bytes +=
+        buffers->spill->bytes_written() - bytes_before;
+  }
+  buffers->right.clear();
+  ctx_->ReleaseMemory(buffers->charged);
+  buffers->charged = 0;
+  right_spilled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<std::vector<std::unique_ptr<SpillFile>>>
+BinaryPhysOp::TakeRightSpillFiles() {
+  std::vector<std::unique_ptr<SpillFile>> files;
+  for (InputBuffers& b : buffers_) {
+    if (b.spill == nullptr) continue;
+    BYPASS_RETURN_IF_ERROR(b.spill->FinishWrite());
+    files.push_back(std::move(b.spill));
+  }
+  return files;
+}
+
+int64_t BinaryPhysOp::TakeRightCharges() {
+  int64_t total = 0;
+  for (InputBuffers& b : buffers_) {
+    total += b.charged;
+    b.charged = 0;
+  }
+  return total;
 }
 
 Status BinaryPhysOp::ProcessLeftBatch(RowBatch batch) {
@@ -151,8 +198,22 @@ Status BinaryPhysOp::Consume(int in_port, RowBatch batch) {
     // The build side is retained until the join finishes — the other
     // place a query's footprint scales with an input, so it pays into
     // the memory budget alongside the collector sink.
-    BYPASS_RETURN_IF_ERROR(ctx_->ChargeMemory(ApproxRowsBytes(
-        batch.size(), batch.size() > 0 ? batch.row(0).size() : 0)));
+    const int64_t bytes = ApproxRowsBytes(
+        batch.size(), batch.size() > 0 ? batch.row(0).size() : 0);
+    if (CanSpillRight() && ctx_->spill() != nullptr &&
+        ctx_->memory() != nullptr) {
+      if (ctx_->TryChargeMemory(bytes)) {
+        buffers.charged += bytes;
+        batch.ConsumeRowsInto(&buffers.right);
+      } else {
+        // Over budget: take the batch uncharged and spill the worker's
+        // whole buffer (batch included) to release its charges.
+        batch.ConsumeRowsInto(&buffers.right);
+        BYPASS_RETURN_IF_ERROR(SpillRightBuffer(&buffers));
+      }
+      return Status::OK();
+    }
+    BYPASS_RETURN_IF_ERROR(ctx_->ChargeMemory(bytes));
     batch.ConsumeRowsInto(&buffers.right);
     return Status::OK();
   }

@@ -18,12 +18,14 @@
 #ifndef BYPASSDB_EXEC_PHYS_OP_H_
 #define BYPASSDB_EXEC_PHYS_OP_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "exec/exec_context.h"
+#include "storage/spill.h"
 #include "types/row.h"
 #include "types/row_batch.h"
 
@@ -61,6 +63,12 @@ class PhysOp {
   virtual std::string Label() const = 0;
 
   int num_out_ports() const { return num_out_ports_; }
+
+  /// Consumers wired into `out_port` so far. The planner's zone-map
+  /// pass uses this to prove a scan feeds exactly one filter.
+  size_t num_consumers(int out_port) const {
+    return out_edges_[static_cast<size_t>(out_port)].size();
+  }
 
   /// Rows / batches emitted on `out_port` during the last execution
   /// (EXPLAIN ANALYZE-style accounting; reset by Prepare). Aggregates the
@@ -193,15 +201,47 @@ class BinaryPhysOp : public PhysOp {
   /// The merged right input; complete once BuildFromRight runs.
   const std::vector<Row>& right_rows() const { return right_rows_; }
 
+  /// Opt-in for budget-driven spilling of the buffered right side: when
+  /// true and the context carries both a memory budget and a spill
+  /// manager, a failed charge writes the worker's buffered right rows to
+  /// a temp file instead of failing the query. The subclass must then
+  /// handle right_spilled() in BuildFromRight (the Grace hash join
+  /// does); operators without an external algorithm keep the default and
+  /// the exact pre-spill ResourceExhausted behavior.
+  virtual bool CanSpillRight() const { return false; }
+
+  /// True once any worker spilled right rows this execution. Stable by
+  /// the (single-threaded) finish phase where it is consulted.
+  bool right_spilled() const {
+    return right_spilled_.load(std::memory_order_relaxed);
+  }
+
+  /// Hands the per-worker right-side spill files to the subclass (worker
+  /// order, nulls omitted); files are finished for writing.
+  Result<std::vector<std::unique_ptr<SpillFile>>> TakeRightSpillFiles();
+
+  /// Moves the merged in-memory right rows out (grace repartitioning
+  /// consumes them); right_rows() is empty afterwards.
+  std::vector<Row> TakeRightRows() { return std::move(right_rows_); }
+
+  /// Total bytes still charged for buffered right rows, zeroed — the
+  /// caller pairs it with ExecContext::ReleaseMemory after spilling.
+  int64_t TakeRightCharges();
+
  private:
   /// Per-worker input buffers, padded against false sharing.
   struct alignas(64) InputBuffers {
     std::vector<Row> right;
     std::vector<RowBatch> pending_left;
+    int64_t charged = 0;                ///< bytes charged for `right`
+    std::unique_ptr<SpillFile> spill;   ///< spilled right rows, if any
   };
+
+  Status SpillRightBuffer(InputBuffers* buffers);
 
   std::vector<InputBuffers> buffers_;
   std::vector<Row> right_rows_;  // merged at right finish
+  std::atomic<bool> right_spilled_{false};
   bool right_done_ = false;
   bool left_done_ = false;
   bool finished_ = false;

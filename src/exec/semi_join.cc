@@ -15,7 +15,10 @@ void HashExistenceJoinOp::Reset() {
 
 Status HashExistenceJoinOp::BuildFromRight() {
   table_.Build(right_rows(), right_key_slots_, ctx_->pool());
-  return Status::OK();
+  // The index arrays scale with the build side like the buffered rows
+  // (charged on arrival) do; this operator has no spill path, so an
+  // overrun surfaces as ResourceExhausted.
+  return ctx_->ChargeMemory(table_.RetainedBytes());
 }
 
 bool HashExistenceJoinOp::Matches(const Row& row) const {

@@ -3,14 +3,25 @@
 // per-worker and merged at finish, so the sort itself sees all rows;
 // stability ties are broken by post-merge arrival order, which is
 // scheduling-dependent under parallelism (equal keys only).
+//
+// Out-of-core: with a memory budget and a spill manager on the context,
+// a worker whose buffer cannot be charged sorts it into a run file
+// (records are key ++ payload, already in key order) and keeps going;
+// the finish phase then streams a k-way merge of all runs plus the
+// sorted in-memory remainder. Ties across streams break by run ordinal
+// (worker, then spill order) before the remainder, so serial spilled
+// runs reproduce arrival-order stability exactly.
 #ifndef BYPASSDB_EXEC_SORT_H_
 #define BYPASSDB_EXEC_SORT_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/phys_op.h"
 #include "expr/expr.h"
+#include "storage/spill.h"
 
 namespace bypass {
 
@@ -34,7 +45,28 @@ class SortPhysOp : public UnaryPhysOp {
  private:
   struct alignas(64) Partial {
     std::vector<Row> rows;
+    int64_t charged = 0;  ///< bytes charged for `rows`
+    std::vector<std::unique_ptr<SpillFile>> runs;
   };
+
+  /// Evaluates the sort keys of `rows` and sorts (key, index) pairs with
+  /// the key comparator, ties by index (= arrival order within `rows`).
+  Result<std::vector<std::pair<Row, size_t>>> SortKeyed(
+      const std::vector<Row>& rows) const;
+
+  /// -1 / 0 / +1 of the key rows under the sort direction flags.
+  int CompareKeys(const Row& a, const Row& b) const;
+
+  /// Sorts the worker's buffered rows into a new run file (records are
+  /// the key row concatenated with the payload row) and releases their
+  /// budget charges.
+  Status SpillRun(Partial* partial);
+
+  /// Streams the merge of the sorted run files and the sorted in-memory
+  /// remainder.
+  Status MergeRuns(std::vector<std::unique_ptr<SpillFile>> runs,
+                   std::vector<Row>* buffer,
+                   std::vector<std::pair<Row, size_t>>* keyed);
 
   std::vector<PhysSortKey> keys_;
   std::vector<Partial> partials_;  // per-worker input buffers

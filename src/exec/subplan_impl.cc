@@ -11,8 +11,9 @@ ExecSubplan::ExecSubplan(PhysicalPlan plan,
 void ExecSubplan::Configure(
     std::optional<std::chrono::steady_clock::time_point> deadline,
     ExecStats* stats, size_t batch_size, SharedWorkerStats worker_stats,
-    int num_worker_slots, bool enable_columnar,
-    SharedMemoryBudget memory) {
+    int num_worker_slots, bool enable_columnar, SharedMemoryBudget memory,
+    std::shared_ptr<SpillManager> spill, bool enable_zone_maps,
+    bool scan_from_segments) {
   if (deadline.has_value()) {
     ctx_.set_deadline(*deadline);
   } else {
@@ -26,9 +27,13 @@ void ExecSubplan::Configure(
   ctx_.set_num_worker_slots(num_worker_slots);
   ctx_.set_columnar_enabled(enable_columnar);
   ctx_.set_memory(memory);
+  ctx_.set_spill(spill);
+  ctx_.set_zone_maps_enabled(enable_zone_maps);
+  ctx_.set_scan_from_segments(scan_from_segments);
   for (ExecSubplan* nested : plan_.subplans) {
     nested->Configure(deadline, stats, batch_size, worker_stats,
-                      num_worker_slots, enable_columnar, memory);
+                      num_worker_slots, enable_columnar, memory, spill,
+                      enable_zone_maps, scan_from_segments);
   }
 }
 

@@ -45,9 +45,10 @@ class ExecSubplan : public CorrelatedSubplan {
   }
 
   /// Propagates the query's deadline, stats sinks, batch size,
-  /// worker-slot count, the columnar toggle, and the shared memory
-  /// budget into this block's private execution context (called by the
-  /// engine before running). `worker_stats` and `memory` may be null;
+  /// worker-slot count, the columnar toggle, the shared memory budget,
+  /// the shared spill manager, and the segment-storage toggles into this
+  /// block's private execution context (called by the engine before
+  /// running). `worker_stats`, `memory`, and `spill` may be null;
   /// `num_worker_slots` must cover every worker id that can evaluate
   /// expressions referencing this subplan.
   void Configure(std::optional<std::chrono::steady_clock::time_point>
@@ -55,7 +56,10 @@ class ExecSubplan : public CorrelatedSubplan {
                  ExecStats* stats, size_t batch_size,
                  SharedWorkerStats worker_stats = nullptr,
                  int num_worker_slots = 1, bool enable_columnar = true,
-                 SharedMemoryBudget memory = nullptr);
+                 SharedMemoryBudget memory = nullptr,
+                 std::shared_ptr<SpillManager> spill = nullptr,
+                 bool enable_zone_maps = true,
+                 bool scan_from_segments = false);
 
   /// Drops memoized results (between benchmark repetitions).
   void ClearCache();

@@ -191,19 +191,18 @@ void CompareLoop(SelSpan span, const bool res[3], LS l, RS r,
 }
 
 // SQL LIKE under 3VL: NULL input → Unknown, otherwise the match result
-// (inverted for NOT LIKE). Same loop shape as CompareLoop; the per-row
-// work is the pattern matcher instead of a table lookup, which is why
-// EstimateCost prices LIKE an order of magnitude above a comparison.
-template <typename S, typename EmitFn>
-void LikeLoop(SelSpan span, S s, std::string_view pattern, bool negated,
-              EmitFn&& emit) {
+// (inverted for NOT LIKE). Same loop shape as CompareLoop, monomorphized
+// per matcher so each shape's loop carries no per-row dispatch.
+template <typename S, typename MatchFn, typename EmitFn>
+void LikeLoopWith(SelSpan span, S s, bool negated, MatchFn&& match,
+                  EmitFn&& emit) {
   auto body = [&](uint32_t idx) BYPASS_KERNEL_INLINE {
     if (s.IsNull(idx)) {
       emit(idx, TriBool::kUnknown);
       return;
     }
-    emit(idx, LikeMatch(s.Get(idx), pattern) != negated ? TriBool::kTrue
-                                                        : TriBool::kFalse);
+    emit(idx, match(s.Get(idx)) != negated ? TriBool::kTrue
+                                           : TriBool::kFalse);
   };
   if (span.dense && span.n > 0) {
     const uint32_t base = span.sel[0];
@@ -213,6 +212,49 @@ void LikeLoop(SelSpan span, S s, std::string_view pattern, bool negated,
   } else {
     for (size_t i = 0; i < span.n; ++i) body(span.sel[i]);
   }
+}
+
+// Analyzes the pattern once per batch and picks the matcher: anchored
+// shapes ('abc%', '%abc', '%abc%', exact, match-all) run a substring
+// primitive per row; only kGeneric pays the backtracking matcher — which
+// is why EstimateCost prices LIKE an order of magnitude above a
+// comparison even though the common shapes run far cheaper.
+template <typename S, typename EmitFn>
+void LikeLoop(SelSpan span, S s, std::string_view pattern, bool negated,
+              EmitFn&& emit) {
+  const LikePattern shaped = AnalyzeLikePattern(pattern);
+  const std::string_view body = shaped.body;
+  switch (shaped.shape) {
+    case LikeShape::kMatchAll:
+      return LikeLoopWith(
+          span, s, negated, [](std::string_view) { return true; }, emit);
+    case LikeShape::kExact:
+      return LikeLoopWith(
+          span, s, negated,
+          [body](std::string_view t) { return t == body; }, emit);
+    case LikeShape::kPrefix:
+      return LikeLoopWith(
+          span, s, negated,
+          [body](std::string_view t) { return t.starts_with(body); },
+          emit);
+    case LikeShape::kSuffix:
+      return LikeLoopWith(
+          span, s, negated,
+          [body](std::string_view t) { return t.ends_with(body); }, emit);
+    case LikeShape::kContains:
+      return LikeLoopWith(
+          span, s, negated,
+          [body](std::string_view t) {
+            return t.find(body) != std::string_view::npos;
+          },
+          emit);
+    case LikeShape::kGeneric:
+      break;
+  }
+  LikeLoopWith(
+      span, s, negated,
+      [pattern](std::string_view t) { return LikeMatch(t, pattern); },
+      emit);
 }
 
 // Predicates that are Unknown for every row: a NULL constant operand, or

@@ -53,6 +53,12 @@ class Estimator : public StatsProvider {
     return &it->second->columns[static_cast<size_t>(*slot)];
   }
 
+  const Table* GetTableForAlias(
+      const std::string& qualifier) const override {
+    const auto it = alias_tables_.find(qualifier);
+    return it == alias_tables_.end() ? nullptr : it->second;
+  }
+
   const std::unordered_map<const LogicalOp*, PlanEstimate>& memo() const {
     return memo_;
   }

@@ -77,13 +77,23 @@ Result<PhysicalPlan> Planner::Lower(const LogicalOpPtr& root) {
 Result<PhysicalPlan> Planner::LowerPlan(const LogicalOpPtr& root,
                                         const Schema* outer_schema) {
   PhysicalPlan plan;
-  LoweringCtx ctx{&plan, outer_schema};
+  std::vector<std::pair<TableScanOp*, ExprPtr>> zone_candidates;
+  LoweringCtx ctx{&plan, outer_schema, &zone_candidates};
   std::unordered_map<const LogicalOp*, PhysOp*> memo;
   BYPASS_ASSIGN_OR_RETURN(PhysOp * top, LowerNode(root, &ctx, &memo));
   auto sink = std::make_unique<CollectorSink>();
   plan.sink = sink.get();
   top->AddConsumer(kPortOut, sink.get(), 0);
   plan.ops.push_back(std::move(sink));
+  // Zone-map pruning is only sound when every consumer of the scan sees
+  // just the predicate's TRUE rows; with all wiring done, that is exactly
+  // the scans whose sole consumer is the candidate filter. (A bypass
+  // filter never qualifies — its negative port needs the failing rows.)
+  for (auto& [scan, pred] : zone_candidates) {
+    if (scan->num_consumers(kPortOut) == 1) {
+      scan->set_zone_filter(std::move(pred));
+    }
+  }
   plan.output_schema = root->schema();
   // Annotate each physical operator with its logical node's estimated
   // cardinality so the runtime can report per-operator q-errors.
@@ -216,6 +226,12 @@ Result<PhysOp*> Planner::LowerNode(
       BYPASS_ASSIGN_OR_RETURN(
           ExprPtr pred,
           BindExpr(sel.predicate(), inputs[0].op->schema(), ctx));
+      // A filter directly over a scan is bound against the table schema,
+      // making it a zone-map pruning candidate (installed by the
+      // post-wiring pass if the scan gets no other consumer).
+      if (auto* scan = dynamic_cast<TableScanOp*>(children[0])) {
+        ctx->zone_candidates->emplace_back(scan, pred);
+      }
       result = Register(ctx,
                         std::make_unique<FilterOp>(std::move(pred)));
       wire(result, 0, 0);

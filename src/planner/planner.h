@@ -37,6 +37,10 @@ class Planner {
   struct LoweringCtx {
     PhysicalPlan* plan;
     const Schema* outer_schema;  // enclosing block's schema, or nullptr
+    /// Filter-over-scan pairs found while lowering this plan; the
+    /// post-wiring pass installs the predicate as the scan's zone filter
+    /// when the scan ended up with that filter as its only consumer.
+    std::vector<std::pair<TableScanOp*, ExprPtr>>* zone_candidates;
   };
 
   Result<PhysicalPlan> LowerPlan(const LogicalOpPtr& root,

@@ -41,6 +41,12 @@ const ColumnStatistics* PlanStatsProvider::GetColumnStats(
   return &entry->table->stats()[static_cast<size_t>(*slot)];
 }
 
+const Table* PlanStatsProvider::GetTableForAlias(
+    const std::string& qualifier) const {
+  const Entry* entry = Resolve(qualifier);
+  return entry == nullptr ? nullptr : entry->table;
+}
+
 const ColumnStatistics* PlanStatsProvider::GetColumnStatistics(
     const std::string& qualifier, const std::string& name,
     int64_t* rows) const {

@@ -33,6 +33,9 @@ class PlanStatsProvider : public StatsProvider {
       const std::string& qualifier, const std::string& name,
       int64_t* rows) const override;
 
+  const Table* GetTableForAlias(
+      const std::string& qualifier) const override;
+
  private:
   struct Entry {
     const Table* table = nullptr;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "expr/expr_util.h"
+#include "storage/zone_map.h"
 
 namespace bypass {
 
@@ -115,25 +116,83 @@ std::optional<double> LazySelectivity(const ColumnStatistics& column,
   }
 }
 
+/// Bounds on a comparison's selectivity derived from the table's segment
+/// zone maps: the fraction of rows in segments where the predicate
+/// provably holds for every row (lower) and where it may hold for some
+/// row (upper). Exact per segment — a histogram interpolates inside a
+/// bucket, a zone verdict does not — so clamping an estimate into these
+/// bounds can only tighten it. Only consulted when the segment index is
+/// already built (has_segments): estimation never pays the build cost.
+struct ZoneBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+std::optional<ZoneBounds> ZoneComparisonBounds(const ColumnLiteral& match,
+                                               const StatsProvider& stats) {
+  const Table* table =
+      stats.GetTableForAlias(match.column->qualifier());
+  if (table == nullptr || !table->has_segments()) return std::nullopt;
+  auto slot = table->schema().FindColumn("", match.column->name());
+  if (!slot.ok()) return std::nullopt;
+  const TableSegments& segs = table->segments();
+  if (segs.num_rows == 0 || segs.segments.empty()) return std::nullopt;
+  int64_t all_rows = 0;
+  int64_t may_rows = 0;
+  for (const SegmentMeta& meta : segs.segments) {
+    if (static_cast<size_t>(*slot) >= meta.zones.size()) {
+      return std::nullopt;
+    }
+    const ColumnZone& zone = meta.zones[static_cast<size_t>(*slot)];
+    switch (ClassifyZone(zone, meta.row_count, match.op, *match.value)) {
+      case ZoneMatch::kAll:
+        all_rows += static_cast<int64_t>(meta.row_count);
+        [[fallthrough]];
+      case ZoneMatch::kSome:
+        may_rows += static_cast<int64_t>(meta.row_count);
+        break;
+      case ZoneMatch::kNone:
+        break;
+    }
+  }
+  const double total = static_cast<double>(segs.num_rows);
+  return ZoneBounds{static_cast<double>(all_rows) / total,
+                    static_cast<double>(may_rows) / total};
+}
+
 std::optional<double> StatsComparisonSelectivity(
     const ComparisonExpr& cmp, const StatsProvider& stats) {
   const auto match = MatchColumnLiteral(cmp);
   if (!match.has_value()) return std::nullopt;
   if (match->value->is_null()) return 0.0;  // θ NULL never holds
 
+  const auto bounds = ZoneComparisonBounds(*match, stats);
+  const auto clamp = [&bounds](double est) {
+    return bounds.has_value() ? std::clamp(est, bounds->lo, bounds->hi)
+                              : est;
+  };
+
   int64_t rows = 0;
   if (const ColumnStatistics* rich = stats.GetColumnStatistics(
           match->column->qualifier(), match->column->name(), &rows)) {
     if (auto est = HistogramSelectivity(*rich, rows, match->op,
                                         *match->value)) {
-      return est;
+      return clamp(*est);
     }
   }
   rows = 0;
   const ColumnStatistics* lazy = stats.GetColumnStats(
       match->column->qualifier(), match->column->name(), &rows);
-  if (lazy == nullptr) return std::nullopt;
-  return LazySelectivity(*lazy, rows, match->op, *match->value);
+  if (lazy != nullptr) {
+    if (auto est =
+            LazySelectivity(*lazy, rows, match->op, *match->value)) {
+      return clamp(*est);
+    }
+  }
+  // No per-column statistics could price the comparison; the zone bounds
+  // alone still beat a textbook constant — take their midpoint.
+  if (bounds.has_value()) return (bounds->lo + bounds->hi) / 2.0;
+  return std::nullopt;
 }
 
 /// NULL fraction of a plain column reference, when known.

@@ -39,6 +39,15 @@ class StatsProvider {
     (void)rows;
     return nullptr;
   }
+
+  /// The base table behind `qualifier`, or nullptr when the provider
+  /// cannot resolve it. Lets the estimator consult the table's segment
+  /// zone maps (when already built) for exact per-segment bounds that
+  /// histograms only approximate.
+  virtual const Table* GetTableForAlias(const std::string& qualifier) const {
+    (void)qualifier;
+    return nullptr;
+  }
 };
 
 }  // namespace bypass
